@@ -1,0 +1,73 @@
+"""Shared workloads and helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation (see the experiment index in DESIGN.md and the recorded outcomes
+in EXPERIMENTS.md).  Absolute times differ from the paper — the substrate is
+a pure-Python/NumPy runtime rather than compiled C++ on Stampede2 — but the
+*shape* of each comparison (who wins, by roughly what factor, where the
+crossovers are) is the quantity under test.
+
+Workload sizes are scaled-down versions of the paper's datasets (see
+``repro.sptensor.datasets``) so a full benchmark run finishes in minutes.
+Pass real FROSTT files via ``load_preset(..., tns_path=...)`` to run at full
+scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.sptensor import COOTensor, load_preset, random_dense_matrix, random_sparse_tensor
+
+#: Dataset presets used by the single-node kernel comparisons (Figure 7 and
+#: the TTMc speedup discussion).  Scales keep every baseline under ~1 s per
+#: run on the Python substrate.
+FIG7_DATASETS = ("nell-2", "nips", "vast-3d")
+FIG7_MAX_NNZ = 3000
+
+#: Rank used by the MTTKRP comparison (the paper uses R = 64).
+FIG7_RANK = 64
+
+#: Ranks used by the TTMc comparisons (the paper uses R = S = 16 for order 3).
+TTMC_RANK = 16
+
+
+def preset_tensor(name: str, max_nnz: int = FIG7_MAX_NNZ, seed: int = 0) -> COOTensor:
+    return load_preset(name, scale=2e-3, max_nnz=max_nnz, seed=seed)
+
+
+def factor_matrices(tensor: COOTensor, rank: int, seed: int = 0):
+    return [
+        random_dense_matrix(dim, rank, seed=seed + mode)
+        for mode, dim in enumerate(tensor.shape)
+    ]
+
+
+def scaling_tensor(order: int, dim: int, density: float, seed: int = 0) -> COOTensor:
+    """Synthetic uniform tensor mirroring the Figure 8 strong-scaling inputs
+    (identical mode sizes, fixed density), scaled down for the Python runtime."""
+    shape = tuple(dim for _ in range(order))
+    return random_sparse_tensor(shape, density=density, seed=seed)
+
+
+def record_rows(benchmark, rows: Sequence[Dict[str, object]]) -> None:
+    """Attach result rows to the pytest-benchmark record (shown with --benchmark-json)."""
+    benchmark.extra_info["rows"] = list(rows)
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    if not rows:
+        return "(no rows)"
+    keys = list(rows[0].keys())
+    lines = ["  ".join(f"{k:>14s}" for k in keys)]
+    for row in rows:
+        lines.append(
+            "  ".join(
+                f"{row[k]:>14.4g}" if isinstance(row[k], float) else f"{str(row[k]):>14s}"
+                for k in keys
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""E8 — Figure 10: runtime distribution over randomly sampled loop orders.
+
+The paper takes the order-3 all-mode TTMc (N = 1024, R = 32, 0.1% sparsity),
+fixes the contraction path chosen by SpTTN-Cyclops, randomly samples 25% of
+the CSF-consistent loop orders, executes each, and shows that the loop order
+picked by the cost model sits at (or very near) the fast end of the measured
+distribution.
+
+Expected shape: the cost-model-picked loop order's measured time is within a
+small factor of the fastest sampled order and far below the slowest; its
+rank within the sampled distribution is reported in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.autotune import Autotuner
+from repro.core.loop_nest import LoopNest
+from repro.core.scheduler import SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.kernels.ttmc import all_mode_ttmc_kernel
+from repro.sptensor import random_dense_matrix, random_sparse_tensor
+
+from _workloads import record_rows
+
+RANK = 32
+
+
+def _setup():
+    tensor = random_sparse_tensor((48, 48, 48), nnz=3000, seed=7)
+    factors = [
+        random_dense_matrix(d, RANK, seed=20 + i) for i, d in enumerate(tensor.shape)
+    ]
+    return all_mode_ttmc_kernel(tensor, factors)
+
+
+def test_fig10_random_loop_orders(benchmark):
+    kernel, tensors = _setup()
+    scheduler = SpTTNScheduler(kernel, buffer_dim_bound=2)
+    schedule = scheduler.schedule()
+
+    def runner(nest: LoopNest):
+        return LoopNestExecutor(kernel, nest).execute(tensors)
+
+    tuner = Autotuner(kernel, runner, repeats=1)
+
+    def sweep():
+        # 25% of the loop orders of the chosen contraction path, capped so the
+        # benchmark stays interactive on the Python substrate.
+        result = tuner.tune_path(
+            schedule.path, fraction=0.25, seed=0, max_candidates=24
+        )
+        picked = tuner.measure(schedule.loop_nest)
+        return result, picked
+
+    result, picked = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    times = result.times()
+    rows = [
+        {
+            "order": str(entry.loop_nest.order.orders),
+            "seconds": entry.seconds,
+            "max_buffer_dim": entry.max_buffer_dimension,
+        }
+        for entry in result.entries
+    ]
+    record_rows(benchmark, rows)
+    benchmark.extra_info["picked_seconds"] = picked.seconds
+    benchmark.extra_info["fastest_sampled"] = times[0]
+    benchmark.extra_info["slowest_sampled"] = times[-1]
+
+    # Figure 10 shape: the cost-model choice lands in the fast tail of the
+    # distribution — within a small factor of the fastest sampled order and
+    # below the sampled median (and hence far below the slow tail).
+    median = times[len(times) // 2]
+    assert picked.seconds <= 4.0 * times[0]
+    assert picked.seconds <= median
+    assert picked.seconds < times[-1]

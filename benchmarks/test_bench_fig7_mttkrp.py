@@ -1,0 +1,62 @@
+"""E1 — Figure 7: single-thread MTTKRP across frameworks.
+
+The paper compares SpTTN-Cyclops against TACO, SparseLNR, CTF and SPLATT on
+FROSTT tensors with rank R = 64 and reports: SpTTN-Cyclops 1.3-3.4x faster
+than TACO, roughly on par with SPLATT (0.7-1.7x), SparseLNR equal to TACO
+(fusion fails for MTTKRP), and CTF far behind.
+
+Expected shape here: ``spttn-cyclops`` and ``splatt`` are the two fastest
+and within a small factor of each other; ``taco-unfactorized`` and
+``sparselnr`` are slower; ``ctf-pairwise`` is slowest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks import (
+    CTFLikeBaseline,
+    SparseLNRLikeBaseline,
+    SplattLikeBaseline,
+    SpTTNCyclopsBaseline,
+    TacoLikeBaseline,
+)
+from repro.kernels.mttkrp import mttkrp_kernel
+
+from _workloads import FIG7_DATASETS, FIG7_RANK, factor_matrices, preset_tensor
+
+FRAMEWORKS = {
+    "spttn-cyclops": SpTTNCyclopsBaseline,
+    "splatt": SplattLikeBaseline,
+    "taco-unfactorized": TacoLikeBaseline,
+    "sparselnr": SparseLNRLikeBaseline,
+    "ctf-pairwise": CTFLikeBaseline,
+}
+
+
+def _setup(dataset: str):
+    tensor = preset_tensor(dataset)
+    factors = factor_matrices(tensor, FIG7_RANK, seed=1)
+    kernel, tensors = mttkrp_kernel(tensor, factors, mode=0)
+    return kernel, tensors
+
+
+@pytest.mark.parametrize("dataset", FIG7_DATASETS)
+@pytest.mark.parametrize("framework", list(FRAMEWORKS))
+def test_fig7_mttkrp_single_thread(benchmark, dataset, framework):
+    kernel, tensors = _setup(dataset)
+    baseline = FRAMEWORKS[framework]()
+    if not baseline.supports(kernel):
+        pytest.skip(f"{framework} does not support MTTKRP on this preset")
+    if isinstance(baseline, SpTTNCyclopsBaseline):
+        baseline.schedule_for(kernel)  # schedule once, outside the timed region
+
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["framework"] = framework
+    benchmark.extra_info["nnz"] = tensors[kernel.sparse_operand.name].nnz
+    benchmark.extra_info["rank"] = FIG7_RANK
+
+    result = benchmark.pedantic(
+        lambda: baseline.run(kernel, tensors), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["flops"] = result.counter.flops

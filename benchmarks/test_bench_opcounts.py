@@ -1,0 +1,94 @@
+"""E10 — operation-count claims of Section 2.4.
+
+The paper's motivating analysis compares, per kernel, the scalar operation
+counts of the three execution strategies:
+
+* MTTKRP: unfactorized needs ``3 nnz(T) R`` operations; factorize-and-fuse
+  needs ``2 nnz_{IJK}(T) R + 2 nnz_{IJ}(T) R`` — up to a third fewer;
+* order-3 TTMc: unfactorized needs ``3 nnz(T) R S``; the factorized schedule
+  needs ``2 nnz(T) S + 2 nnz_{IJ}(T) S R`` — an asymptotic reduction;
+* CTF-style pairwise execution performs the same operations as
+  factorize-and-fuse but materializes the full intermediate.
+
+This benchmark executes each strategy with operation counting enabled and
+checks the measured counts against the analytic formulas (the measured
+counts include lower-order terms, so the comparison allows a modest
+tolerance).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks import SpTTNCyclopsBaseline, TacoLikeBaseline
+from repro.kernels.mttkrp import mttkrp_kernel
+from repro.kernels.ttmc import ttmc_kernel
+from repro.sptensor import random_dense_matrix, power_law_sparse_tensor
+
+RANK = 16
+
+
+def _tensor():
+    return power_law_sparse_tensor((40, 36, 32), nnz=3000, seed=11, exponent=1.3)
+
+
+def test_opcount_mttkrp_unfactorized_vs_fused(benchmark):
+    tensor = _tensor()
+    factors = [random_dense_matrix(d, RANK, seed=i) for i, d in enumerate(tensor.shape)]
+    kernel, tensors = mttkrp_kernel(tensor, factors, mode=0)
+
+    taco = TacoLikeBaseline()
+    ours = SpTTNCyclopsBaseline()
+    ours.schedule_for(kernel)
+
+    def run_both():
+        return taco.run(kernel, tensors), ours.run(kernel, tensors)
+
+    taco_res, ours_res = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    nnz = tensor.nnz
+    nnz_ij = tensor.nnz_prefix(2)
+    analytic_unfactorized = 3 * nnz * RANK
+    analytic_fused = 2 * nnz * RANK + 2 * nnz_ij * RANK
+
+    benchmark.extra_info.update(
+        measured_unfactorized=taco_res.counter.flops,
+        measured_fused=ours_res.counter.flops,
+        analytic_unfactorized=analytic_unfactorized,
+        analytic_fused=analytic_fused,
+    )
+    assert taco_res.counter.flops == pytest.approx(analytic_unfactorized, rel=0.35)
+    assert ours_res.counter.flops == pytest.approx(analytic_fused, rel=0.35)
+    assert ours_res.counter.flops < taco_res.counter.flops
+
+
+def test_opcount_ttmc_asymptotic_reduction(benchmark):
+    tensor = _tensor()
+    factors = [random_dense_matrix(d, RANK, seed=5 + i) for i, d in enumerate(tensor.shape)]
+    kernel, tensors = ttmc_kernel(tensor, factors, mode=0)
+
+    taco = TacoLikeBaseline()
+    ours = SpTTNCyclopsBaseline()
+    ours.schedule_for(kernel)
+
+    def run_both():
+        return taco.run(kernel, tensors), ours.run(kernel, tensors)
+
+    taco_res, ours_res = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    nnz = tensor.nnz
+    nnz_ij = tensor.nnz_prefix(2)
+    analytic_unfactorized = 3 * nnz * RANK * RANK
+    analytic_fused = 2 * nnz * RANK + 2 * nnz_ij * RANK * RANK
+
+    benchmark.extra_info.update(
+        measured_unfactorized=taco_res.counter.flops,
+        measured_fused=ours_res.counter.flops,
+        analytic_unfactorized=analytic_unfactorized,
+        analytic_fused=analytic_fused,
+        reduction=taco_res.counter.flops / max(1, ours_res.counter.flops),
+    )
+    assert taco_res.counter.flops == pytest.approx(analytic_unfactorized, rel=0.35)
+    assert ours_res.counter.flops == pytest.approx(analytic_fused, rel=0.35)
+    # the paper's asymptotic gap: unfactorized pays the extra factor of R
+    assert taco_res.counter.flops > 1.5 * ours_res.counter.flops

@@ -1,0 +1,88 @@
+"""E2 — Section 7 TTMc comparison: SpTTN-Cyclops vs TACO / SparseLNR / CTF.
+
+The paper reports order-of-magnitude speedups for TTMc: 29.3x / 110.5x over
+TACO / SparseLNR on nell-2, 125.9x / 4x on vast-3d, and 0.8x-12.6x over CTF,
+because the fused schedule removes the ``R x S`` (or ``R x S x T``) factor
+from the per-nonzero work.
+
+Expected shape: ``spttn-cyclops`` is the fastest generalized system on every
+dataset for both order-3 and order-4 TTMc, with the TACO gap much larger
+than it was for MTTKRP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frameworks import (
+    CTFLikeBaseline,
+    SparseLNRLikeBaseline,
+    SpTTNCyclopsBaseline,
+    TacoLikeBaseline,
+)
+from repro.kernels.ttmc import ttmc_kernel
+from repro.sptensor import random_dense_matrix, random_sparse_tensor
+
+from _workloads import TTMC_RANK, factor_matrices, preset_tensor
+
+FRAMEWORKS = {
+    "spttn-cyclops": SpTTNCyclopsBaseline,
+    "taco-unfactorized": TacoLikeBaseline,
+    "sparselnr": SparseLNRLikeBaseline,
+    "ctf-pairwise": CTFLikeBaseline,
+}
+
+ORDER3_DATASETS = ("nell-2", "vast-3d")
+
+
+def _order3_setup(dataset: str):
+    tensor = preset_tensor(dataset)
+    factors = factor_matrices(tensor, TTMC_RANK, seed=2)
+    return ttmc_kernel(tensor, factors, mode=0)
+
+
+def _order4_setup():
+    tensor = random_sparse_tensor((22, 20, 18, 16), nnz=2500, seed=5)
+    factors = [
+        random_dense_matrix(dim, 8, seed=10 + mode)
+        for mode, dim in enumerate(tensor.shape)
+    ]
+    return ttmc_kernel(tensor, factors, mode=0)
+
+
+@pytest.mark.parametrize("dataset", ORDER3_DATASETS)
+@pytest.mark.parametrize("framework", list(FRAMEWORKS))
+def test_ttmc_order3(benchmark, dataset, framework):
+    kernel, tensors = _order3_setup(dataset)
+    baseline = FRAMEWORKS[framework]()
+    if isinstance(baseline, SpTTNCyclopsBaseline):
+        baseline.schedule_for(kernel)
+    benchmark.extra_info.update(
+        dataset=dataset,
+        framework=framework,
+        kernel="ttmc-order3",
+        rank=TTMC_RANK,
+        nnz=tensors[kernel.sparse_operand.name].nnz,
+    )
+    result = benchmark.pedantic(
+        lambda: baseline.run(kernel, tensors), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["flops"] = result.counter.flops
+
+
+@pytest.mark.parametrize("framework", list(FRAMEWORKS))
+def test_ttmc_order4(benchmark, framework):
+    kernel, tensors = _order4_setup()
+    baseline = FRAMEWORKS[framework]()
+    if isinstance(baseline, SpTTNCyclopsBaseline):
+        baseline.schedule_for(kernel)
+    benchmark.extra_info.update(
+        dataset="synthetic-order4",
+        framework=framework,
+        kernel="ttmc-order4",
+        nnz=tensors[kernel.sparse_operand.name].nnz,
+    )
+    result = benchmark.pedantic(
+        lambda: baseline.run(kernel, tensors), rounds=2, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info["flops"] = result.counter.flops

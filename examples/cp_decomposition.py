@@ -1,0 +1,51 @@
+"""CP decomposition of a (synthetic FROSTT-like) sparse tensor with CP-ALS.
+
+Every ALS sweep is dominated by one MTTKRP per mode; this example shows how
+the library schedules that kernel once per mode (the search is independent
+of the tensor values) and reuses the schedules across iterations, then
+compares the operation count of the selected fused loop nest against the
+unfactorized (TACO-style) strategy.
+
+Run with:  python examples/cp_decomposition.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import cp_als
+from repro.frameworks import SpTTNCyclopsBaseline, TacoLikeBaseline
+from repro.kernels.mttkrp import mttkrp_kernel
+
+
+def main() -> None:
+    # A scaled-down stand-in for a FROSTT tensor (power-law nonzero pattern).
+    T = repro.load_preset("nell-2", scale=3e-3, max_nnz=15_000, seed=0)
+    rank = 8
+    print(f"tensor: shape={T.shape}, nnz={T.nnz}, rank={rank}")
+
+    # --- run CP-ALS -------------------------------------------------------
+    result = cp_als(T, rank=rank, iterations=6, seed=0)
+    print("\nCP-ALS fit per sweep:")
+    for sweep, fit in enumerate(result.fits, start=1):
+        print(f"  sweep {sweep}: fit = {fit:.4f}")
+
+    # --- inspect the kernel the sweeps are built on ------------------------
+    factors = [np.ones((dim, rank)) for dim in T.shape]
+    kernel, tensors = mttkrp_kernel(T, factors, mode=0)
+
+    ours = SpTTNCyclopsBaseline()
+    schedule = ours.schedule_for(kernel)
+    print("\nmode-0 MTTKRP loop nest chosen by the scheduler:")
+    print(schedule.loop_nest.describe(kernel))
+
+    ours_run = ours.run(kernel, tensors)
+    taco_run = TacoLikeBaseline().run(kernel, tensors)
+    print(
+        f"\noperation counts: fused={ours_run.counter.flops:,} "
+        f"unfactorized={taco_run.counter.flops:,} "
+        f"(reduction {taco_run.counter.flops / ours_run.counter.flops:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

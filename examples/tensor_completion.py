@@ -1,0 +1,59 @@
+"""Tensor completion on observed entries (TTTP + MTTKRP-bound).
+
+A low-rank tensor is sampled at a small fraction of its entries; CP
+completion fits a model to the observed entries only, using the TTTP kernel
+(model evaluated at the observed pattern) and per-mode MTTKRPs of the sparse
+residual.  The example reports the observed-entry RMSE per iteration and the
+prediction error on held-out entries.
+
+Run with:  python examples/tensor_completion.py
+"""
+
+import numpy as np
+
+import repro
+from repro.apps import cp_completion
+from repro.kernels import tttp
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    shape, rank = (60, 50, 40), 4
+
+    # Ground-truth low-rank tensor and a sparse set of observations.
+    true_factors = [rng.random((dim, rank)) for dim in shape]
+    dense = np.einsum("ir,jr,kr->ijk", *true_factors)
+    observed_mask = rng.random(shape) < 0.05
+    observed = repro.COOTensor.from_dense(dense * observed_mask)
+    print(f"observed entries: {observed.nnz} ({observed.density:.2%} of the tensor)")
+
+    # --- fit ----------------------------------------------------------------
+    result = cp_completion(
+        observed, rank=rank, iterations=40, learning_rate=0.6, seed=1
+    )
+    print("\nobserved-entry RMSE per iteration (every 5th):")
+    for step in range(0, len(result.rmse_history), 5):
+        print(f"  iter {step:3d}: rmse = {result.rmse_history[step]:.4f}")
+
+    # --- held-out evaluation -------------------------------------------------
+    holdout_mask = (~observed_mask) & (rng.random(shape) < 0.02)
+    coords = np.argwhere(holdout_mask)
+    truth = dense[holdout_mask]
+    preds = result.predict(coords)
+    rmse = float(np.sqrt(np.mean((preds - truth) ** 2)))
+    baseline = float(np.sqrt(np.mean(truth**2)))
+    print(f"\nheld-out RMSE: {rmse:.4f}  (predict-zero baseline: {baseline:.4f})")
+
+    # --- the TTTP kernel the optimizer relies on -----------------------------
+    model_at_observed = tttp(
+        observed.with_values(np.ones(observed.nnz)),
+        [f for f in result.factors],
+    )
+    print(
+        "\nTTTP sanity check: model evaluated at observed entries, "
+        f"first 3 values {np.round(model_at_observed.values[:3], 4)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

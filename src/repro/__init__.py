@@ -1,0 +1,91 @@
+"""SpTTN-Cyclops reproduction.
+
+A pure-Python reproduction of *"Minimum Cost Loop Nests for Contraction of a
+Sparse Tensor with a Tensor Network"* (Kanakagiri & Solomonik, SPAA 2024):
+cost-model-driven selection and execution of fully-fused loop nests for
+contractions of one sparse tensor with a network of dense tensors (SpTTN
+kernels), plus baselines, kernels, decomposition/completion applications and
+a simulated distributed-memory runtime.
+
+Quick start
+-----------
+>>> import repro
+>>> T = repro.random_sparse_tensor((50, 40, 30), density=0.01, seed=0)
+>>> B = repro.random_dense_matrix(40, 8, seed=1)
+>>> C = repro.random_dense_matrix(30, 8, seed=2)
+>>> out, schedule = repro.contract("ijk,ja,ka->ia", [T, B, C])   # MTTKRP
+>>> out.shape
+(50, 8)
+"""
+
+from repro.core import (
+    SpTTNKernel,
+    parse_kernel,
+    ContractionPath,
+    enumerate_contraction_paths,
+    rank_contraction_paths,
+    LoopNest,
+    LoopOrder,
+    MaxBufferDimCost,
+    MaxBufferSizeCost,
+    CacheMissCost,
+    ExecutionCost,
+    evaluate_cost,
+    find_optimal_loop_order,
+    SpTTNScheduler,
+    Schedule,
+    Autotuner,
+)
+from repro.engine import LoopNestExecutor, execute_kernel
+from repro.sptensor import (
+    COOTensor,
+    CSFTensor,
+    DenseTensor,
+    random_sparse_tensor,
+    random_dense_matrix,
+    power_law_sparse_tensor,
+    read_tns,
+    write_tns,
+    load_preset,
+    dataset_presets,
+)
+from repro.util import OpCounter
+
+#: Convenience alias: parse, schedule and execute a kernel in one call.
+contract = execute_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpTTNKernel",
+    "parse_kernel",
+    "ContractionPath",
+    "enumerate_contraction_paths",
+    "rank_contraction_paths",
+    "LoopNest",
+    "LoopOrder",
+    "MaxBufferDimCost",
+    "MaxBufferSizeCost",
+    "CacheMissCost",
+    "ExecutionCost",
+    "evaluate_cost",
+    "find_optimal_loop_order",
+    "SpTTNScheduler",
+    "Schedule",
+    "Autotuner",
+    "LoopNestExecutor",
+    "execute_kernel",
+    "contract",
+    "COOTensor",
+    "CSFTensor",
+    "DenseTensor",
+    "random_sparse_tensor",
+    "random_dense_matrix",
+    "power_law_sparse_tensor",
+    "read_tns",
+    "write_tns",
+    "load_preset",
+    "dataset_presets",
+    "OpCounter",
+    "__version__",
+]

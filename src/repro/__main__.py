@@ -1,0 +1,178 @@
+"""Command-line interface: schedule, inspect and run SpTTN kernels.
+
+Examples
+--------
+Show the loop nest the scheduler picks for an MTTKRP over a FROSTT file::
+
+    python -m repro schedule --spec "ijk,jr,kr->ir" --tns tensor.tns --rank 16
+
+Run the kernel and report timings and operation counts (synthetic tensor
+when no file is given)::
+
+    python -m repro run --spec "ijk,jr,ks->irs" --shape 200,150,120 \
+        --nnz 20000 --rank 16 --compare taco
+
+List the built-in dataset presets::
+
+    python -m repro datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.expr import parse_kernel
+from repro.core.scheduler import SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.frameworks import (
+    CTFLikeBaseline,
+    SparseLNRLikeBaseline,
+    SplattLikeBaseline,
+    SpTTNCyclopsBaseline,
+    TacoLikeBaseline,
+)
+from repro.sptensor import dataset_presets, random_dense_matrix, random_sparse_tensor, read_tns
+
+_BASELINES = {
+    "spttn": SpTTNCyclopsBaseline,
+    "taco": TacoLikeBaseline,
+    "sparselnr": SparseLNRLikeBaseline,
+    "ctf": CTFLikeBaseline,
+    "splatt": SplattLikeBaseline,
+}
+
+
+def _load_sparse(args) -> "repro.COOTensor":
+    if args.tns:
+        tensor = read_tns(args.tns)
+        print(f"loaded {args.tns}: shape={tensor.shape}, nnz={tensor.nnz}")
+        return tensor
+    if not args.shape:
+        raise SystemExit("either --tns or --shape must be given")
+    shape = tuple(int(s) for s in args.shape.split(","))
+    nnz = args.nnz if args.nnz else max(64, int(0.001 * np.prod(shape)))
+    tensor = random_sparse_tensor(shape, nnz=nnz, seed=args.seed)
+    print(f"synthetic tensor: shape={shape}, nnz={tensor.nnz}")
+    return tensor
+
+
+def _build_operands(spec: str, tensor, rank: int, seed: int):
+    """Concrete operands for *spec*: the sparse tensor plus random dense factors."""
+    lhs = spec.split("->")[0].split(",")
+    sparse_sub = lhs[0]
+    dims = {name: dim for name, dim in zip(sparse_sub, tensor.shape)}
+    operands: List[object] = [tensor]
+    for pos, sub in enumerate(lhs[1:]):
+        shape = []
+        for idx in sub:
+            if idx in dims:
+                shape.append(dims[idx])
+            else:
+                dims[idx] = rank
+                shape.append(rank)
+        operands.append(
+            random_dense_matrix(shape[0], shape[1], seed=seed + pos).data
+            if len(shape) == 2
+            else np.random.default_rng(seed + pos).random(tuple(shape))
+        )
+    return operands
+
+
+def cmd_schedule(args) -> int:
+    tensor = _load_sparse(args)
+    operands = _build_operands(args.spec, tensor, args.rank, args.seed)
+    kernel = parse_kernel(args.spec, operands)
+    scheduler = SpTTNScheduler(kernel, buffer_dim_bound=args.buffer_bound)
+    start = time.perf_counter()
+    schedule = scheduler.schedule()
+    elapsed = time.perf_counter() - start
+    print(f"\nschedule found in {elapsed * 1e3:.1f} ms")
+    print(schedule.describe())
+    print("\nintermediate buffers:")
+    for buf in schedule.loop_nest.buffers():
+        print(f"  {buf.name}: indices={buf.indices} "
+              f"size={buf.size(kernel.index_dims)} elements")
+    return 0
+
+
+def cmd_run(args) -> int:
+    tensor = _load_sparse(args)
+    operands = _build_operands(args.spec, tensor, args.rank, args.seed)
+    kernel = parse_kernel(args.spec, operands)
+    mapping = {op.name: t for op, t in zip(kernel.operands, operands)}
+
+    systems = ["spttn"] + [s for s in (args.compare or []) if s in _BASELINES]
+    print(f"\n{'system':>12s} {'time [ms]':>12s} {'flops':>14s}")
+    for name in systems:
+        baseline = _BASELINES[name]()
+        if not baseline.supports(kernel):
+            print(f"{name:>12s} {'unsupported':>12s}")
+            continue
+        if isinstance(baseline, SpTTNCyclopsBaseline):
+            baseline.schedule_for(kernel)
+        best = None
+        flops = 0
+        for _ in range(args.repeats):
+            result = baseline.run(kernel, mapping)
+            flops = result.counter.flops
+            best = result.seconds if best is None else min(best, result.seconds)
+        print(f"{name:>12s} {best * 1e3:12.2f} {flops:14,d}")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    print(f"{'name':>12s} {'order':>6s} {'shape':>30s} {'nnz':>14s}")
+    for name, spec in sorted(dataset_presets().items()):
+        print(
+            f"{name:>12s} {spec.order:6d} {str(spec.full_shape):>30s} "
+            f"{spec.full_nnz:14,d}"
+        )
+    print("\nload a scaled synthetic stand-in with "
+          "repro.load_preset(name, scale=..., max_nnz=...) "
+          "or the real file with load_preset(name, tns_path=...).")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SpTTN-Cyclops reproduction: minimum-cost loop nests for "
+        "sparse-tensor-times-tensor-network contractions.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--spec", required=True, help='einsum spec, e.g. "ijk,jr,kr->ir"')
+        p.add_argument("--tns", help="FROSTT .tns file for the sparse operand")
+        p.add_argument("--shape", help="synthetic sparse tensor shape, e.g. 200,150,120")
+        p.add_argument("--nnz", type=int, help="synthetic nonzero count")
+        p.add_argument("--rank", type=int, default=16, help="dense factor rank (default 16)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--buffer-bound", type=int, default=2,
+                       help="intermediate buffer dimension bound (default 2)")
+
+    p_sched = sub.add_parser("schedule", help="show the selected loop nest")
+    add_common(p_sched)
+    p_sched.set_defaults(func=cmd_schedule)
+
+    p_run = sub.add_parser("run", help="execute the kernel (optionally vs baselines)")
+    add_common(p_run)
+    p_run.add_argument("--compare", nargs="*", choices=sorted(_BASELINES),
+                       help="baselines to compare against")
+    p_run.add_argument("--repeats", type=int, default=3)
+    p_run.set_defaults(func=cmd_run)
+
+    p_data = sub.add_parser("datasets", help="list the FROSTT dataset presets")
+    p_data.set_defaults(func=cmd_datasets)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

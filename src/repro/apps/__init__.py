@@ -1,0 +1,31 @@
+"""Tensor decomposition and completion algorithms built on the SpTTN kernels.
+
+These applications are the workloads that motivate the paper (Section 2.3):
+every inner iteration is dominated by one of the SpTTN kernels this library
+schedules and executes.
+
+* :mod:`repro.apps.cp_als` — CP decomposition via alternating least squares
+  (MTTKRP-bound).
+* :mod:`repro.apps.tucker_hooi` — Tucker decomposition via higher-order
+  orthogonal iteration (TTMc-bound).
+* :mod:`repro.apps.completion` — CP tensor completion on observed entries
+  (TTTP + MTTKRP-bound).
+* :mod:`repro.apps.tensor_train` — tensor-train decomposition of a sparse
+  tensor via first-order optimization (TTTc-bound).
+"""
+
+from repro.apps.cp_als import CPDecomposition, cp_als
+from repro.apps.tucker_hooi import TuckerDecomposition, tucker_hooi
+from repro.apps.completion import CompletionResult, cp_completion
+from repro.apps.tensor_train import TTDecomposition, tensor_train_decomposition
+
+__all__ = [
+    "CPDecomposition",
+    "cp_als",
+    "TuckerDecomposition",
+    "tucker_hooi",
+    "CompletionResult",
+    "cp_completion",
+    "TTDecomposition",
+    "tensor_train_decomposition",
+]

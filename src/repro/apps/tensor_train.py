@@ -1,0 +1,138 @@
+"""Tensor-train decomposition of a sparse tensor via first-order optimization.
+
+The paper's TTTc kernel (Equation 4) is the data-dependent term of the
+gradient when fitting a tensor-train model to a sparse tensor with a
+first-order method: the gradient of ``0.5 * || Ω * (TT - T) ||^2`` with
+respect to core ``G_n`` is the contraction of the residual (restricted to
+the observed pattern Ω, i.e. a tensor with the sparsity of ``T``) with every
+other core — exactly a TTTc kernel with core ``n`` removed.
+
+Each optimization step therefore evaluates the TT model at the observed
+entries (a vectorized chain of per-entry matrix products) and runs one TTTc
+per core on the sparse residual, both through the library's scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.scheduler import Schedule, SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.kernels.tttc import tt_core_shapes, tttc_kernel
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+from repro.util.validation import check_positive_int, require
+
+SparseInput = Union[COOTensor, CSFTensor]
+
+
+@dataclass
+class TTDecomposition:
+    """Result of :func:`tensor_train_decomposition`."""
+
+    cores: List[np.ndarray]
+    rmse_history: List[float] = field(default_factory=list)
+    iterations: int = 0
+
+    @property
+    def rank(self) -> int:
+        return int(self.cores[0].shape[-1])
+
+    def values_at(self, indices: np.ndarray) -> np.ndarray:
+        """TT model values at the given coordinates (vectorized over rows)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        n_rows = indices.shape[0]
+        # running row vectors of shape (n_rows, rank)
+        state = self.cores[0][indices[:, 0], :]
+        for mode in range(1, len(self.cores) - 1):
+            core = self.cores[mode][:, indices[:, mode], :]  # (r_prev, rows, r_next)
+            state = np.einsum("nr,rns->ns", state, core)
+        last = self.cores[-1][:, indices[:, -1]]  # (r_prev, rows)
+        return np.einsum("nr,rn->n", state, last)
+
+    def reconstruct(self, shape: Sequence[int]) -> np.ndarray:
+        """Dense reconstruction (only for small tensors / tests)."""
+        grid = np.indices(tuple(shape)).reshape(len(shape), -1).T
+        return self.values_at(grid).reshape(tuple(shape))
+
+
+def tensor_train_decomposition(
+    tensor: SparseInput,
+    rank: int,
+    iterations: int = 30,
+    learning_rate: float = 0.05,
+    regularization: float = 1.0e-4,
+    seed: Optional[int] = 0,
+    tolerance: float = 1.0e-10,
+) -> TTDecomposition:
+    """Fit a tensor-train model to the stored entries of a sparse tensor.
+
+    Parameters
+    ----------
+    tensor:
+        Sparse input tensor of order >= 2.
+    rank:
+        Uniform TT bond dimension.
+    iterations, learning_rate, regularization, tolerance:
+        Gradient-descent hyperparameters; iteration stops early when the
+        observed-entry RMSE stops improving.
+    """
+    rank = check_positive_int(rank, "rank")
+    coo = tensor.to_coo() if isinstance(tensor, CSFTensor) else tensor
+    require(isinstance(coo, COOTensor), "tensor must be a sparse tensor")
+    require(coo.order >= 2, "tensor-train needs order >= 2")
+    require(coo.nnz > 0, "decomposition needs at least one stored entry")
+    order = coo.order
+    rng = np.random.default_rng(seed)
+    scale = (np.abs(coo.values).mean() ** (1.0 / order)) / np.sqrt(rank)
+    cores = [
+        rng.standard_normal(shape) * scale
+        for shape in tt_core_shapes(coo.shape, rank)
+    ]
+
+    # Schedule one TTTc kernel per removed core, reused across iterations.
+    schedules: Dict[int, Schedule] = {}
+    kernels = {}
+    for removed in range(order):
+        placeholder = [np.ones(s) for s in tt_core_shapes(coo.shape, rank)]
+        kernel, _ = tttc_kernel(coo, placeholder, removed_core=removed)
+        schedules[removed] = SpTTNScheduler(kernel, max_paths=2000).schedule()
+        kernels[removed] = kernel
+
+    result = TTDecomposition(cores=cores)
+    rmse_history: List[float] = []
+    previous = np.inf
+    steps = 0
+    for step in range(iterations):
+        model_vals = result.values_at(coo.indices)
+        residual_values = model_vals - coo.values
+        rmse = float(np.sqrt(np.mean(residual_values**2)))
+        rmse_history.append(rmse)
+        steps = step + 1
+        if abs(previous - rmse) < tolerance:
+            break
+        previous = rmse
+        residual = coo.with_values(residual_values)
+
+        for removed in range(order):
+            kernel = kernels[removed]
+            other = [cores[n] for n in range(order) if n != removed]
+            mapping = {kernel.sparse_operand.name: residual}
+            for op, core in zip(kernel.dense_operands, other):
+                mapping[op.name] = core
+            executor = LoopNestExecutor(kernel, schedules[removed].loop_nest)
+            grad = np.asarray(executor.execute(mapping))
+            # The TTTc output axes follow the kernel's output index order,
+            # which matches the removed core's own axis order by construction.
+            grad = grad.reshape(cores[removed].shape)
+            # Normalize by the number of observed entries so the step size is
+            # independent of nnz, then add the ridge term.
+            grad = grad / coo.nnz + regularization * cores[removed]
+            cores[removed] -= learning_rate * grad
+
+    result.rmse_history = rmse_history
+    result.iterations = steps
+    return result

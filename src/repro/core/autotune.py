@@ -1,0 +1,130 @@
+"""Measured-time autotuning over enumerated loop nests.
+
+Section 4.1 notes that enumeration "enables autotuning": when an analytic
+cost model is insufficient, every candidate loop nest can simply be executed
+and timed.  The :class:`Autotuner` does exactly that over a (possibly
+sampled) set of loop nests, and is what the Figure 10 reproduction uses to
+place the cost-model-picked loop order within the measured distribution of
+random loop orders.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.contraction_path import ContractionPath
+from repro.core.enumeration import enumerate_loop_orders, sample_loop_orders
+from repro.core.expr import SpTTNKernel
+from repro.core.loop_nest import LoopNest, LoopOrder
+
+
+@dataclass
+class AutotuneEntry:
+    """One measured candidate."""
+
+    loop_nest: LoopNest
+    seconds: float
+    max_buffer_dimension: int
+
+
+@dataclass
+class AutotuneResult:
+    """All measured candidates, sorted fastest-first."""
+
+    entries: List[AutotuneEntry] = field(default_factory=list)
+
+    @property
+    def best(self) -> AutotuneEntry:
+        if not self.entries:
+            raise ValueError("autotuner measured no candidates")
+        return self.entries[0]
+
+    def times(self) -> List[float]:
+        return [e.seconds for e in self.entries]
+
+    def rank_of(self, loop_nest: LoopNest) -> Optional[int]:
+        """Position of a loop nest (by loop order equality) in the ranking."""
+        for rank, entry in enumerate(self.entries):
+            if entry.loop_nest.order == loop_nest.order and (
+                entry.loop_nest.path.terms == loop_nest.path.terms
+            ):
+                return rank
+        return None
+
+
+class Autotuner:
+    """Times candidate loop nests with a user-provided runner.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel being tuned.
+    runner:
+        Callable ``runner(loop_nest) -> None`` that executes the kernel with
+        the given loop nest on concrete data (typically a closure over
+        :class:`repro.engine.executor.LoopNestExecutor`).
+    repeats:
+        Number of timed repetitions per candidate; the minimum is recorded.
+    """
+
+    def __init__(
+        self,
+        kernel: SpTTNKernel,
+        runner: Callable[[LoopNest], object],
+        repeats: int = 1,
+    ) -> None:
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.kernel = kernel
+        self.runner = runner
+        self.repeats = int(repeats)
+
+    def measure(self, loop_nest: LoopNest) -> AutotuneEntry:
+        best = float("inf")
+        for _ in range(self.repeats):
+            start = time.perf_counter()
+            self.runner(loop_nest)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        return AutotuneEntry(
+            loop_nest=loop_nest,
+            seconds=best,
+            max_buffer_dimension=loop_nest.max_buffer_dimension(),
+        )
+
+    def tune(
+        self,
+        candidates: Sequence[LoopNest],
+    ) -> AutotuneResult:
+        """Measure an explicit list of candidates."""
+        entries = [self.measure(nest) for nest in candidates]
+        entries.sort(key=lambda e: e.seconds)
+        return AutotuneResult(entries)
+
+    def tune_path(
+        self,
+        path: ContractionPath,
+        fraction: float = 1.0,
+        seed: Optional[int] = None,
+        max_candidates: Optional[int] = None,
+    ) -> AutotuneResult:
+        """Measure the loop orders of one contraction path.
+
+        With ``fraction < 1`` a random sample of the CSF-consistent loop
+        orders is measured (the Figure 10 protocol uses 25%).
+        """
+        if fraction >= 1.0:
+            orders: List[LoopOrder] = list(
+                enumerate_loop_orders(self.kernel, path, limit=max_candidates)
+            )
+        else:
+            orders = sample_loop_orders(
+                self.kernel,
+                path,
+                fraction=fraction,
+                seed=seed,
+                max_samples=max_candidates,
+            )
+        return self.tune([LoopNest(path, order) for order in orders])

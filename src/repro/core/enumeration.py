@@ -1,0 +1,155 @@
+"""Exhaustive enumeration of loop orders and loop nests (Section 4.1).
+
+Enumeration spans the full search space the paper analyses: every valid
+contraction path times every combination of per-term loop orders.  It is
+used for
+
+* autotuning (measure every candidate and keep the fastest, Figure 10);
+* verifying that Algorithm 1 returns the same optimum as brute force
+  (the property tests in ``tests/test_optimizer.py``).
+
+The per-term loop orders are restricted, exactly as in the runtime, to
+permutations in which the sparse tensor's indices appear in CSF storage
+order, reducing the per-term count from ``|I_i|!`` to ``|I_i|!/k!`` for a
+term with ``k`` sparse indices (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.contraction_path import (
+    ContractionPath,
+    ContractionTerm,
+    enumerate_contraction_paths,
+)
+from repro.core.expr import SpTTNKernel
+from repro.core.loop_nest import LoopNest, LoopOrder
+
+
+def enumerate_loop_orders_for_term(
+    kernel: SpTTNKernel,
+    term: ContractionTerm,
+    enforce_csf_order: bool = True,
+) -> List[Tuple[str, ...]]:
+    """All loop orders of one contraction term.
+
+    With ``enforce_csf_order`` (the default), the sparse indices of the term
+    keep their relative CSF storage order; dense indices may be interleaved
+    anywhere.
+    """
+    indices = term.all_indices
+    if not enforce_csf_order:
+        return [tuple(p) for p in itertools.permutations(indices)]
+    sparse_seq = [i for i in kernel.csf_mode_order if i in set(indices)]
+    dense = [i for i in indices if i not in kernel.sparse_indices]
+    n = len(indices)
+    orders: List[Tuple[str, ...]] = []
+    # Choose the positions occupied by the sparse subsequence; fill the rest
+    # with every permutation of the dense indices.
+    for sparse_positions in itertools.combinations(range(n), len(sparse_seq)):
+        sparse_pos_set = set(sparse_positions)
+        dense_positions = [p for p in range(n) if p not in sparse_pos_set]
+        for dense_perm in itertools.permutations(dense):
+            slots: List[Optional[str]] = [None] * n
+            for pos, idx in zip(sparse_positions, sparse_seq):
+                slots[pos] = idx
+            for pos, idx in zip(dense_positions, dense_perm):
+                slots[pos] = idx
+            orders.append(tuple(slots))  # type: ignore[arg-type]
+    return orders
+
+
+def count_loop_orders(
+    kernel: SpTTNKernel,
+    path: ContractionPath,
+    enforce_csf_order: bool = True,
+) -> int:
+    """Size of the loop-order space for one contraction path.
+
+    Equals ``prod_i |I_i|!`` without the CSF restriction, and
+    ``prod_i |I_i|!/k_i!`` with it (Section 4.1.2/4.1.3).
+    """
+    total = 1
+    for term in path:
+        n = len(term.all_indices)
+        k = sum(1 for i in term.all_indices if i in kernel.sparse_indices)
+        if enforce_csf_order:
+            total *= math.factorial(n) // math.factorial(k)
+        else:
+            total *= math.factorial(n)
+    return total
+
+
+def enumerate_loop_orders(
+    kernel: SpTTNKernel,
+    path: ContractionPath,
+    enforce_csf_order: bool = True,
+    limit: Optional[int] = None,
+) -> Iterator[LoopOrder]:
+    """Iterate loop orders for a contraction path (cartesian product of terms)."""
+    per_term = [
+        enumerate_loop_orders_for_term(kernel, term, enforce_csf_order)
+        for term in path
+    ]
+    count = 0
+    for combo in itertools.product(*per_term):
+        yield LoopOrder(tuple(combo))
+        count += 1
+        if limit is not None and count >= limit:
+            return
+
+
+def enumerate_loop_nests(
+    kernel: SpTTNKernel,
+    paths: Optional[Sequence[ContractionPath]] = None,
+    enforce_csf_order: bool = True,
+    limit_per_path: Optional[int] = None,
+    limit_total: Optional[int] = None,
+) -> Iterator[LoopNest]:
+    """Iterate fully-fused loop nests over contraction paths and loop orders.
+
+    This is the autotuning search space of Section 4.1.3; its size is the
+    product of the number of contraction paths and the number of loop orders
+    per path, so callers typically pass limits or sample from it.
+    """
+    if paths is None:
+        paths = enumerate_contraction_paths(kernel)
+    total = 0
+    for path in paths:
+        for order in enumerate_loop_orders(
+            kernel, path, enforce_csf_order, limit=limit_per_path
+        ):
+            yield LoopNest(path, order)
+            total += 1
+            if limit_total is not None and total >= limit_total:
+                return
+
+
+def sample_loop_orders(
+    kernel: SpTTNKernel,
+    path: ContractionPath,
+    fraction: float = 0.25,
+    seed: Optional[int] = None,
+    enforce_csf_order: bool = True,
+    max_samples: Optional[int] = None,
+) -> List[LoopOrder]:
+    """Randomly sample a fraction of the loop orders of one contraction path.
+
+    Mirrors the Figure 10 experiment, which randomly selects 25% of the
+    CSF-consistent loop orders of the chosen contraction path.
+    """
+    import numpy as np
+
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    all_orders = list(enumerate_loop_orders(kernel, path, enforce_csf_order))
+    rng = np.random.default_rng(seed)
+    n = max(1, int(round(len(all_orders) * fraction)))
+    if max_samples is not None:
+        n = min(n, max_samples)
+    n = min(n, len(all_orders))
+    chosen = rng.choice(len(all_orders), size=n, replace=False)
+    return [all_orders[int(i)] for i in sorted(chosen)]

@@ -1,0 +1,420 @@
+"""SpTTN kernel intermediate representation.
+
+An SpTTN kernel (Section 3 of the paper) contracts one sparse tensor with a
+network of dense tensors, producing either a dense output or a sparse output
+with exactly the sparsity pattern of the input sparse tensor.  This module
+parses einsum-style expressions such as ``"ijk,ja,ka->ia"`` into a validated
+:class:`SpTTNKernel` object carrying:
+
+* one :class:`KernelOperand` per input tensor (sparse tensor first by
+  convention, but any position is accepted);
+* the output operand;
+* per-index dimension information and sparsity classification
+  (:class:`IndexInfo`);
+* the CSF storage order of the sparse indices, which constrains loop orders
+  (Section 5).
+
+The IR is deliberately independent of the concrete tensor data: the
+scheduler and cost models only need index dimensions, sparsity flags and
+(optionally) nonzero-count statistics, mirroring the data-independent nature
+of SpTTN kernels the paper exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+from repro.sptensor.dense import DenseTensor
+from repro.util.validation import require
+
+SparseInput = Union[COOTensor, CSFTensor]
+
+
+@dataclass(frozen=True)
+class IndexInfo:
+    """Static information about one index variable of a kernel."""
+
+    name: str
+    dimension: int
+    is_sparse: bool
+    #: position of this index among the sparse tensor's CSF levels
+    #: (``None`` for dense-only indices).
+    csf_level: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class KernelOperand:
+    """One tensor operand of an SpTTN kernel."""
+
+    name: str
+    indices: Tuple[str, ...]
+    is_sparse: bool
+
+    @property
+    def order(self) -> int:
+        return len(self.indices)
+
+
+class SpTTNKernel:
+    """A validated SpTTN kernel.
+
+    Parameters
+    ----------
+    operands:
+        Input operands; exactly one must be sparse.
+    output:
+        Output operand.  Its ``is_sparse`` flag must be consistent with the
+        SpTTN restriction: a sparse output must have exactly the index set of
+        the sparse input (same pattern, e.g. TTTP), otherwise the output is
+        dense.
+    index_dims:
+        Mapping from index name to dimension.
+    csf_mode_order:
+        The order in which the sparse tensor's modes are stored in CSF; loop
+        orders are restricted to be consistent with it.
+    sparse_stats:
+        Optional nonzero-count statistics of the concrete sparse tensor
+        (``{"prefix_nnz": {depth: count}, "nnz": total}``) used by flop and
+        cache cost models.  When absent, the models fall back to a uniform
+        density assumption.
+    """
+
+    def __init__(
+        self,
+        operands: Sequence[KernelOperand],
+        output: KernelOperand,
+        index_dims: Mapping[str, int],
+        csf_mode_order: Optional[Sequence[str]] = None,
+        sparse_stats: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        operands = tuple(operands)
+        require(len(operands) >= 2, "an SpTTN kernel needs at least two operands")
+        names = [op.name for op in operands] + [output.name]
+        require(
+            len(set(names)) == len(names),
+            f"operand names must be unique, got {names}",
+        )
+        sparse_ops = [op for op in operands if op.is_sparse]
+        require(
+            len(sparse_ops) == 1,
+            f"an SpTTN kernel must have exactly one sparse operand, "
+            f"found {len(sparse_ops)}",
+        )
+        self.operands: Tuple[KernelOperand, ...] = operands
+        self.output: KernelOperand = output
+        self.sparse_operand: KernelOperand = sparse_ops[0]
+        self.dense_operands: Tuple[KernelOperand, ...] = tuple(
+            op for op in operands if not op.is_sparse
+        )
+
+        # --- index bookkeeping -------------------------------------------
+        all_indices: List[str] = []
+        for op in operands:
+            for idx in op.indices:
+                if idx not in all_indices:
+                    all_indices.append(idx)
+        for idx in output.indices:
+            require(
+                idx in all_indices,
+                f"output index {idx!r} does not appear in any input operand",
+            )
+        self.index_names: Tuple[str, ...] = tuple(all_indices)
+        dims: Dict[str, int] = {}
+        for idx in all_indices:
+            require(idx in index_dims, f"missing dimension for index {idx!r}")
+            dim = int(index_dims[idx])
+            require(dim > 0, f"dimension of index {idx!r} must be positive")
+            dims[idx] = dim
+        self.index_dims: Dict[str, int] = dims
+
+        # indices repeated within a single operand are not supported (no
+        # diagonal extraction in SpTTN kernels)
+        for op in tuple(operands) + (output,):
+            require(
+                len(set(op.indices)) == len(op.indices),
+                f"operand {op.name!r} repeats an index: {op.indices}",
+            )
+
+        # --- sparsity classification --------------------------------------
+        sparse_idx = set(self.sparse_operand.indices)
+        if csf_mode_order is None:
+            csf_mode_order = tuple(self.sparse_operand.indices)
+        else:
+            csf_mode_order = tuple(csf_mode_order)
+            require(
+                set(csf_mode_order) == sparse_idx
+                and len(csf_mode_order) == len(sparse_idx),
+                "csf_mode_order must be a permutation of the sparse operand's indices",
+            )
+        self.csf_mode_order: Tuple[str, ...] = csf_mode_order
+        self.sparse_indices: frozenset = frozenset(sparse_idx)
+        self.dense_indices: frozenset = frozenset(
+            idx for idx in all_indices if idx not in sparse_idx
+        )
+
+        # --- SpTTN output restriction --------------------------------------
+        if output.is_sparse:
+            require(
+                set(output.indices) == sparse_idx,
+                "a sparse output must have exactly the sparse operand's indices "
+                "(same sparsity pattern), e.g. TTTP/SDDMM",
+            )
+        self.contracted_indices: frozenset = frozenset(
+            idx for idx in all_indices if idx not in set(output.indices)
+        )
+
+        self.sparse_stats: Dict[str, object] = dict(sparse_stats or {})
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_inputs(self) -> int:
+        return len(self.operands)
+
+    @property
+    def n_dense(self) -> int:
+        return len(self.dense_operands)
+
+    def operand(self, name: str) -> KernelOperand:
+        for op in self.operands:
+            if op.name == name:
+                return op
+        if name == self.output.name:
+            return self.output
+        raise KeyError(f"no operand named {name!r}")
+
+    def operand_indices(self, name: str) -> Tuple[str, ...]:
+        return self.operand(name).indices
+
+    def dim(self, index: str) -> int:
+        return self.index_dims[index]
+
+    def index_info(self, index: str) -> IndexInfo:
+        is_sparse = index in self.sparse_indices
+        level = self.csf_mode_order.index(index) if is_sparse else None
+        return IndexInfo(index, self.index_dims[index], is_sparse, level)
+
+    def csf_level(self, index: str) -> Optional[int]:
+        if index in self.sparse_indices:
+            return self.csf_mode_order.index(index)
+        return None
+
+    def sparse_order_key(self, index: str) -> int:
+        """Sort key placing sparse indices in CSF order before dense indices."""
+        lvl = self.csf_level(index)
+        return lvl if lvl is not None else len(self.csf_mode_order)
+
+    # ------------------------------------------------------------------ #
+    # nnz statistics
+    # ------------------------------------------------------------------ #
+    def prefix_nnz(self, depth: int) -> float:
+        """Estimated number of CSF nodes at level ``depth-1`` (prefix length *depth*).
+
+        Uses recorded statistics when available, otherwise assumes the
+        nonzeros are spread uniformly (``min(nnz, prod(prefix dims))``).
+        """
+        if depth <= 0:
+            return 1.0
+        order = len(self.csf_mode_order)
+        depth = min(depth, order)
+        stats = self.sparse_stats.get("prefix_nnz")
+        if isinstance(stats, Mapping) and depth in stats:
+            return float(stats[depth])
+        nnz = float(self.sparse_stats.get("nnz", 0.0))
+        prefix_size = 1.0
+        for idx in self.csf_mode_order[:depth]:
+            prefix_size *= float(self.index_dims[idx])
+        if nnz <= 0.0:
+            return prefix_size
+        return min(nnz, prefix_size)
+
+    def nnz(self) -> float:
+        return self.prefix_nnz(len(self.csf_mode_order))
+
+    def sparse_subset_nnz(self, indices: Sequence[str]) -> float:
+        """Estimated distinct index tuples of *indices* among the nonzeros.
+
+        For prefixes of the CSF order this is exact when statistics are
+        recorded; otherwise a uniform-spread estimate is used.
+        """
+        subset = [i for i in indices if i in self.sparse_indices]
+        if not subset:
+            return 1.0
+        levels = sorted(self.csf_mode_order.index(i) for i in subset)
+        if levels == list(range(len(levels))):
+            return self.prefix_nnz(len(levels))
+        nnz = self.nnz()
+        size = 1.0
+        for i in subset:
+            size *= float(self.index_dims[i])
+        return min(nnz, size) if nnz > 0 else size
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ins = ", ".join(
+            f"{op.name}({','.join(op.indices)}){'*' if op.is_sparse else ''}"
+            for op in self.operands
+        )
+        out = f"{self.output.name}({','.join(self.output.indices)})"
+        return f"SpTTNKernel({ins} -> {out})"
+
+    def einsum_spec(self) -> str:
+        """The kernel as an einsum subscripts string (single-letter indices only)."""
+        for idx in self.index_names:
+            if len(idx) != 1:
+                raise ValueError(
+                    "einsum_spec requires single-character index names"
+                )
+        ins = ",".join("".join(op.indices) for op in self.operands)
+        return f"{ins}->{''.join(self.output.indices)}"
+
+
+def _operand_from_tensor(
+    name: str,
+    indices: Tuple[str, ...],
+    tensor: Union[SparseInput, DenseTensor, np.ndarray],
+) -> Tuple[KernelOperand, Tuple[int, ...]]:
+    """Classify a concrete tensor object and return (operand, shape)."""
+    if isinstance(tensor, (COOTensor, CSFTensor)):
+        return KernelOperand(name, indices, True), tensor.shape
+    if isinstance(tensor, DenseTensor):
+        return KernelOperand(name, indices, False), tensor.shape
+    arr = np.asarray(tensor)
+    return KernelOperand(name, indices, False), tuple(arr.shape)
+
+
+def parse_kernel(
+    spec: str,
+    tensors: Sequence[Union[SparseInput, DenseTensor, np.ndarray]],
+    names: Optional[Sequence[str]] = None,
+    output_name: str = "OUT",
+    output_sparse: Optional[bool] = None,
+) -> SpTTNKernel:
+    """Parse an einsum-style kernel specification against concrete tensors.
+
+    Parameters
+    ----------
+    spec:
+        Subscripts string, e.g. ``"ijk,ja,ka->ia"``.  Exactly one input must
+        be a sparse tensor object.
+    tensors:
+        The concrete operands, in the order they appear in *spec*.
+    names:
+        Optional operand names; defaults to the sparse tensor being ``"T"``
+        and dense operands ``"A0", "A1", ...``.
+    output_name:
+        Name of the output operand.
+    output_sparse:
+        Force the output to be sparse (same pattern as the input).  By
+        default the output is sparse exactly when its index set equals the
+        sparse operand's index set.
+
+    Returns
+    -------
+    SpTTNKernel
+        The validated kernel, with index dimensions taken from the tensors
+        and sparse statistics recorded when the sparse operand is COO/CSF.
+    """
+    require("->" in spec, f"kernel spec must contain '->': {spec!r}")
+    lhs, rhs = spec.split("->")
+    input_specs = [s.strip() for s in lhs.split(",")]
+    output_spec = rhs.strip()
+    require(
+        len(input_specs) == len(tensors),
+        f"spec has {len(input_specs)} inputs but {len(tensors)} tensors given",
+    )
+    for s in input_specs + [output_spec]:
+        require(s.isalpha() or s == "", f"invalid subscripts {s!r}")
+
+    operands: List[KernelOperand] = []
+    index_dims: Dict[str, int] = {}
+    sparse_tensor: Optional[SparseInput] = None
+    sparse_count = 0
+    dense_counter = 0
+    for pos, (sub, tensor) in enumerate(zip(input_specs, tensors)):
+        indices = tuple(sub)
+        if names is not None:
+            name = names[pos]
+        else:
+            if isinstance(tensor, (COOTensor, CSFTensor)):
+                name = "T"
+            else:
+                name = f"A{dense_counter}"
+                dense_counter += 1
+        operand, shape = _operand_from_tensor(name, indices, tensor)
+        require(
+            len(shape) == len(indices),
+            f"operand {name!r}: spec has {len(indices)} indices but tensor has "
+            f"order {len(shape)}",
+        )
+        if operand.is_sparse:
+            sparse_count += 1
+            sparse_tensor = tensor  # type: ignore[assignment]
+        for idx, dim in zip(indices, shape):
+            if idx in index_dims:
+                require(
+                    index_dims[idx] == dim,
+                    f"index {idx!r} has inconsistent dimensions "
+                    f"{index_dims[idx]} vs {dim}",
+                )
+            else:
+                index_dims[idx] = int(dim)
+        operands.append(operand)
+    require(sparse_count == 1, f"expected exactly one sparse operand, got {sparse_count}")
+
+    output_indices = tuple(output_spec)
+    sparse_op = next(op for op in operands if op.is_sparse)
+    if output_sparse is None:
+        output_sparse = set(output_indices) == set(sparse_op.indices) and len(
+            output_indices
+        ) == len(sparse_op.indices)
+    output = KernelOperand(output_name, output_indices, bool(output_sparse))
+
+    # CSF order: the order in which the sparse operand's indices appear in
+    # the spec matches the storage order of the tensor passed in (for a CSF
+    # tensor, its mode_order has already been applied to its levels).
+    csf_order = sparse_op.indices
+    if isinstance(sparse_tensor, CSFTensor):
+        csf_order = tuple(sparse_op.indices[m] for m in sparse_tensor.mode_order)
+
+    stats = _collect_sparse_stats(sparse_tensor, csf_order, sparse_op.indices)
+    return SpTTNKernel(
+        operands,
+        output,
+        index_dims,
+        csf_mode_order=csf_order,
+        sparse_stats=stats,
+    )
+
+
+def _collect_sparse_stats(
+    tensor: Optional[SparseInput],
+    csf_order: Tuple[str, ...],
+    spec_indices: Tuple[str, ...],
+) -> Dict[str, object]:
+    """Record nnz statistics (per CSF-prefix) from the concrete sparse tensor."""
+    if tensor is None:
+        return {}
+    stats: Dict[str, object] = {}
+    if isinstance(tensor, CSFTensor):
+        stats["nnz"] = tensor.nnz
+        stats["prefix_nnz"] = {
+            depth: tensor.nnz_at_level(depth - 1) for depth in range(1, tensor.order + 1)
+        }
+        return stats
+    if isinstance(tensor, COOTensor):
+        stats["nnz"] = tensor.nnz
+        # prefix counts follow the CSF order, which here is a permutation of
+        # the spec order; map index names back to tensor modes.
+        mode_of = {idx: pos for pos, idx in enumerate(spec_indices)}
+        prefix = {}
+        for depth in range(1, tensor.order + 1):
+            modes = [mode_of[idx] for idx in csf_order[:depth]]
+            prefix[depth] = tensor.nnz_modes(modes)
+        stats["prefix_nnz"] = prefix
+        return stats
+    return stats

@@ -1,0 +1,276 @@
+"""Algorithm 1: dynamic-programming search for cost-optimal loop orders.
+
+Given a contraction path ``(T, L)`` and a tree-separable cost function, the
+search returns a loop order of minimal cost among all fully-fused loop nests
+for that path (Theorem 4.7).  Subproblems are identified by
+
+* a contiguous subsequence ``[start, end)`` of the path's terms, and
+* the set of indices already iterated (peeled) by enclosing loops,
+
+and are memoized, which reduces the search from the ``O((m!)^N)`` size of
+the loop-order space to ``O(N^3 2^m m)`` work (Section 4.2).
+
+In addition to the best loop order, every subproblem also records the best
+loop order whose outermost loop differs from the best one's — the "second
+best with a different root" needed on line 17 of the paper's pseudocode to
+preserve full fusion when the suffix forest would otherwise start with the
+same index as the loop just created.
+
+The search honours the runtime's CSF restriction (Section 5): a sparse index
+may only become a loop root once every sparse index preceding it in CSF
+storage order has already been iterated (for the terms it covers).  Pass
+``enforce_csf_order=False`` to search the unrestricted space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.contraction_path import ContractionPath
+from repro.core.cost_model import ExecutionCost, TreeSeparableCost
+from repro.core.expr import SpTTNKernel
+from repro.core.loop_nest import LoopNest, LoopOrder, validate_loop_order
+
+Orders = Tuple[Tuple[str, ...], ...]
+Removed = FrozenSet[str]
+
+
+@dataclass
+class SearchStats:
+    """Instrumentation of one search run (used by the E9 benchmark)."""
+
+    subproblems: int = 0
+    cache_hits: int = 0
+    candidates_evaluated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "subproblems": self.subproblems,
+            "cache_hits": self.cache_hits,
+            "candidates_evaluated": self.candidates_evaluated,
+        }
+
+
+@dataclass
+class SearchResult:
+    """Outcome of :class:`OptimalLoopOrderSearch.search`."""
+
+    order: LoopOrder
+    cost: float
+    second_order: Optional[LoopOrder]
+    second_cost: Optional[float]
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def loop_nest(self, path: ContractionPath) -> LoopNest:
+        return LoopNest(path, self.order)
+
+
+@dataclass
+class _Solution:
+    """Best and second-best (different outermost root) orders of a subproblem."""
+
+    best_orders: Optional[Orders]
+    best_cost: float
+    second_orders: Optional[Orders]
+    second_cost: float
+    best_root: Optional[str]
+
+
+class OptimalLoopOrderSearch:
+    """Algorithm 1, bound to one kernel and one cost function."""
+
+    def __init__(
+        self,
+        kernel: SpTTNKernel,
+        cost: Optional[TreeSeparableCost] = None,
+        enforce_csf_order: bool = True,
+    ) -> None:
+        self.kernel = kernel
+        self.cost = cost if cost is not None else ExecutionCost(kernel)
+        self.enforce_csf_order = bool(enforce_csf_order)
+
+    # ------------------------------------------------------------------ #
+    def search(self, path: ContractionPath) -> SearchResult:
+        """Find the cost-optimal loop order for *path*."""
+        if len(path) == 0:
+            raise ValueError("contraction path has no terms")
+        stats = SearchStats()
+        memo: Dict[Tuple[int, int, Removed], _Solution] = {}
+        term_indices: List[Tuple[str, ...]] = [t.all_indices for t in path]
+        cost = self.cost
+
+        def csf_root_allowed(q: str, positions: Tuple[int, ...], removed: Removed) -> bool:
+            """May *q* become the outermost loop of these terms right now?"""
+            if not self.enforce_csf_order or q not in self.kernel.sparse_indices:
+                return True
+            level = self.kernel.csf_mode_order.index(q)
+            earlier = self.kernel.csf_mode_order[:level]
+            for pos in positions:
+                remaining = [
+                    i for i in term_indices[pos] if i not in removed
+                ]
+                for e in earlier:
+                    if e in remaining:
+                        return False
+            return True
+
+        def solve(start: int, end: int, removed: Removed) -> _Solution:
+            if start >= end:
+                return _Solution((), cost.identity(), None, cost.infinity(), None)
+            key = (start, end, removed)
+            if key in memo:
+                stats.cache_hits += 1
+                return memo[key]
+            stats.subproblems += 1
+
+            first_remaining = tuple(
+                i for i in term_indices[start] if i not in removed
+            )
+            if not first_remaining:
+                # The first term is already fully nested: emit it as a leaf
+                # and solve the rest.  Its (scalar) contribution is combined
+                # in front of the remaining forest's cost.
+                rest = solve(start + 1, end, removed)
+                leaf_cost = cost.leaf(
+                    path, start, tuple(range(start + 1, end)), removed
+                )
+                best = (
+                    ((),) + rest.best_orders if rest.best_orders is not None else None
+                )
+                second = (
+                    ((),) + rest.second_orders
+                    if rest.second_orders is not None
+                    else None
+                )
+                # The forest of this subproblem starts with a bare leaf (not a
+                # loop), so the caller's same-root fusion check never applies:
+                # report no root and no second-best alternative.
+                solution = _Solution(
+                    best,
+                    cost.combine(leaf_cost, rest.best_cost)
+                    if best is not None
+                    else cost.infinity(),
+                    second,
+                    cost.combine(leaf_cost, rest.second_cost)
+                    if second is not None and rest.second_orders is not None
+                    else cost.infinity(),
+                    None,
+                )
+                memo[key] = solution
+                return solution
+
+            best_orders: Optional[Orders] = None
+            best_cost = cost.infinity()
+            best_root: Optional[str] = None
+            second_orders: Optional[Orders] = None
+            second_cost = cost.infinity()
+            second_root: Optional[str] = None
+
+            for q in first_remaining:
+                # maximal prefix of terms (from `start`) that all contain q
+                k = 0
+                for pos in range(start, end):
+                    remaining = [i for i in term_indices[pos] if i not in removed]
+                    if q in remaining:
+                        k += 1
+                    else:
+                        break
+                if k == 0:
+                    continue
+
+                q_best_orders: Optional[Orders] = None
+                q_best_cost = cost.infinity()
+
+                for s in range(1, k + 1):
+                    inner_positions = tuple(range(start, start + s))
+                    if not csf_root_allowed(q, inner_positions, removed):
+                        # Including a term whose earlier CSF level is still
+                        # pending would violate the storage-order restriction;
+                        # larger prefixes only add more terms, so stop.
+                        break
+                    after_positions = tuple(range(start + s, end))
+                    stats.candidates_evaluated += 1
+
+                    x = solve(start, start + s, removed | {q})
+                    if x.best_orders is None:
+                        continue
+                    y = solve(start + s, end, removed)
+                    y_orders = y.best_orders
+                    y_cost = y.best_cost
+                    if y_orders is not None and y.best_root == q:
+                        # Using q again as the root of the suffix forest's
+                        # first tree would break full fusion; fall back to the
+                        # best suffix order with a different root.
+                        y_orders = y.second_orders
+                        y_cost = y.second_cost
+                    if y_orders is None:
+                        continue
+
+                    delta = cost.combine(
+                        cost.phi(
+                            path, q, inner_positions, after_positions, removed, x.best_cost
+                        ),
+                        y_cost,
+                    )
+                    if q_best_orders is None or cost.is_better(delta, q_best_cost):
+                        prefixed = tuple((q,) + xo for xo in x.best_orders)
+                        q_best_orders = prefixed + y_orders
+                        q_best_cost = delta
+
+                if q_best_orders is None:
+                    continue
+                if best_orders is None or cost.is_better(q_best_cost, best_cost):
+                    if best_orders is not None and best_root != q:
+                        second_orders, second_cost, second_root = (
+                            best_orders,
+                            best_cost,
+                            best_root,
+                        )
+                    best_orders, best_cost, best_root = q_best_orders, q_best_cost, q
+                elif (
+                    q != best_root
+                    and (second_orders is None or cost.is_better(q_best_cost, second_cost))
+                ):
+                    second_orders, second_cost, second_root = (
+                        q_best_orders,
+                        q_best_cost,
+                        q,
+                    )
+
+            solution = _Solution(
+                best_orders, best_cost, second_orders, second_cost, best_root
+            )
+            memo[key] = solution
+            return solution
+
+        top = solve(0, len(path), frozenset())
+        if top.best_orders is None:
+            raise RuntimeError(
+                "no valid loop order found; check the CSF-order restriction"
+            )
+        order = LoopOrder(top.best_orders)
+        validate_loop_order(
+            self.kernel, path, order, enforce_csf_order=self.enforce_csf_order
+        )
+        second = (
+            LoopOrder(top.second_orders) if top.second_orders is not None else None
+        )
+        return SearchResult(
+            order=order,
+            cost=top.best_cost,
+            second_order=second,
+            second_cost=top.second_cost if second is not None else None,
+            stats=stats,
+        )
+
+
+def find_optimal_loop_order(
+    kernel: SpTTNKernel,
+    path: ContractionPath,
+    cost: Optional[TreeSeparableCost] = None,
+    enforce_csf_order: bool = True,
+) -> SearchResult:
+    """Convenience wrapper: run Algorithm 1 on one contraction path."""
+    search = OptimalLoopOrderSearch(kernel, cost, enforce_csf_order)
+    return search.search(path)

@@ -1,0 +1,48 @@
+"""Simulated distributed-memory runtime (Section 5.2 of the paper).
+
+The paper's distributed execution keeps the sparse tensor in place in a
+cyclic layout over a multidimensional processor grid, replicates the (small)
+dense operands along the grid dimensions they do not share with the sparse
+tensor, runs the same fused loop nest locally on every process, and finally
+reduces the output.
+
+No MPI implementation is available in this environment, so this subpackage
+*simulates* that runtime (see the substitution table in DESIGN.md):
+
+* :mod:`repro.distributed.grid` — multidimensional processor grids;
+* :mod:`repro.distributed.distribution` — cyclic partitioning of the sparse
+  tensor and replicated placement of dense operands, with exact per-rank
+  nonzero counts and communication volumes;
+* :mod:`repro.distributed.comm_model` — an alpha-beta (latency/bandwidth)
+  model of the collectives (broadcast, reduce, all-reduce);
+* :mod:`repro.distributed.runtime` — a virtual-rank runtime that can either
+  *execute* every rank's local kernel sequentially and reduce the results
+  (bitwise-correct, used by the tests) or *estimate* the parallel runtime
+  from the measured single-rank time, the load balance and the
+  communication model (used by the strong-scaling benchmarks);
+* :mod:`repro.distributed.scaling` — strong-scaling sweeps (Figure 8).
+"""
+
+from repro.distributed.grid import ProcessorGrid, factor_processors
+from repro.distributed.distribution import (
+    CyclicDistribution,
+    DenseReplication,
+    partition_sparse_tensor,
+)
+from repro.distributed.comm_model import AlphaBetaModel, CommunicationEstimate
+from repro.distributed.runtime import DistributedSpTTN, SimulatedRun
+from repro.distributed.scaling import StrongScalingResult, strong_scaling
+
+__all__ = [
+    "ProcessorGrid",
+    "factor_processors",
+    "CyclicDistribution",
+    "DenseReplication",
+    "partition_sparse_tensor",
+    "AlphaBetaModel",
+    "CommunicationEstimate",
+    "DistributedSpTTN",
+    "SimulatedRun",
+    "StrongScalingResult",
+    "strong_scaling",
+]

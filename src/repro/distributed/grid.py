@@ -1,0 +1,112 @@
+"""Multidimensional processor grids.
+
+CTF maps tensors onto processor grids whose order matches the tensor order;
+each tensor mode is distributed cyclically over one grid dimension.  The
+:class:`ProcessorGrid` here provides the rank <-> coordinate arithmetic and
+:func:`factor_processors` produces a balanced grid shape for a given process
+count and tensor order (largest prime factors assigned to the largest
+modes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive_int, require
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors: List[int] = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return sorted(factors, reverse=True)
+
+
+def factor_processors(
+    n_procs: int,
+    order: int,
+    mode_sizes: Optional[Sequence[int]] = None,
+) -> Tuple[int, ...]:
+    """Factor *n_procs* into an order-*order* grid.
+
+    Prime factors are assigned greedily to the grid dimension with the
+    largest remaining ``mode_size / grid_size`` ratio, so large tensor modes
+    receive more processes (the heuristic CTF uses for load balance).
+    """
+    n_procs = check_positive_int(n_procs, "n_procs")
+    order = check_positive_int(order, "order")
+    if mode_sizes is None:
+        mode_sizes = [1] * order
+    else:
+        require(len(mode_sizes) == order, "mode_sizes must have one entry per mode")
+    grid = [1] * order
+    for factor in _prime_factors(n_procs):
+        ratios = [mode_sizes[d] / grid[d] for d in range(order)]
+        target = int(np.argmax(ratios))
+        grid[target] *= factor
+    return tuple(grid)
+
+
+class ProcessorGrid:
+    """An order-``d`` grid of ``prod(dims)`` virtual processes."""
+
+    def __init__(self, dims: Sequence[int]) -> None:
+        self.dims: Tuple[int, ...] = tuple(int(d) for d in dims)
+        for d in self.dims:
+            require(d >= 1, "grid dimensions must be positive")
+        self.size = int(np.prod(self.dims))
+
+    @classmethod
+    def for_tensor(
+        cls, n_procs: int, mode_sizes: Sequence[int]
+    ) -> "ProcessorGrid":
+        """A grid matched to a tensor's mode sizes."""
+        return cls(factor_processors(n_procs, len(mode_sizes), mode_sizes))
+
+    @property
+    def order(self) -> int:
+        return len(self.dims)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessorGrid({'x'.join(str(d) for d in self.dims)})"
+
+    # ------------------------------------------------------------------ #
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Linear rank of grid coordinates (row-major)."""
+        require(len(coords) == self.order, "coordinate arity mismatch")
+        rank = 0
+        for c, d in zip(coords, self.dims):
+            require(0 <= c < d, f"coordinate {c} out of range for dimension {d}")
+            rank = rank * d + int(c)
+        return rank
+
+    def coords_of(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a linear rank."""
+        require(0 <= rank < self.size, f"rank {rank} out of range")
+        coords = []
+        for d in reversed(self.dims):
+            coords.append(rank % d)
+            rank //= d
+        return tuple(reversed(coords))
+
+    def iter_ranks(self) -> Iterator[int]:
+        return iter(range(self.size))
+
+    def owner_of(self, index_tuple: Sequence[int]) -> int:
+        """Rank owning a tensor entry under the cyclic distribution."""
+        require(len(index_tuple) == self.order, "index arity mismatch")
+        coords = tuple(int(i) % d for i, d in zip(index_tuple, self.dims))
+        return self.rank_of(coords)
+
+    def fiber_group_size(self, mode: int) -> int:
+        """Number of ranks sharing a fixed coordinate on *mode* (replication group)."""
+        require(0 <= mode < self.order, "mode out of range")
+        return self.size // self.dims[mode]

@@ -1,0 +1,85 @@
+"""Strong-scaling sweeps (the Figure 8 experiments)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.expr import SpTTNKernel
+from repro.core.scheduler import Schedule
+from repro.distributed.comm_model import AlphaBetaModel
+from repro.distributed.runtime import DistributedSpTTN, SimulatedRun
+from repro.engine.executor import TensorLike
+from repro.util.validation import require
+
+
+@dataclass
+class StrongScalingResult:
+    """Simulated times for one kernel across process counts."""
+
+    kernel_name: str
+    runs: List[SimulatedRun] = field(default_factory=list)
+
+    def processes(self) -> List[int]:
+        return [r.processes for r in self.runs]
+
+    def times(self) -> List[float]:
+        return [r.total_seconds for r in self.runs]
+
+    def speedups(self) -> List[float]:
+        if not self.runs:
+            return []
+        base = self.runs[0]
+        return [r.speedup_over(base) * base.processes for r in self.runs]
+
+    def parallel_efficiency(self) -> List[float]:
+        """Speedup divided by process count (1.0 = ideal)."""
+        if not self.runs:
+            return []
+        base = self.runs[0]
+        out = []
+        for r in self.runs:
+            ideal = r.processes / base.processes
+            actual = base.total_seconds / r.total_seconds if r.total_seconds else 0.0
+            out.append(actual / ideal if ideal else 0.0)
+        return out
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for run, eff in zip(self.runs, self.parallel_efficiency()):
+            rows.append(
+                {
+                    "kernel": self.kernel_name,
+                    "processes": run.processes,
+                    "grid": "x".join(str(d) for d in run.grid_dims),
+                    "time_s": run.total_seconds,
+                    "compute_s": run.compute_seconds,
+                    "comm_s": run.communication_seconds,
+                    "efficiency": eff,
+                    "load_imbalance": run.load_imbalance,
+                }
+            )
+        return rows
+
+
+def strong_scaling(
+    kernel: SpTTNKernel,
+    tensors: Mapping[str, TensorLike],
+    process_counts: Sequence[int],
+    kernel_name: str = "kernel",
+    schedule: Optional[Schedule] = None,
+    comm_model: Optional[AlphaBetaModel] = None,
+    measure: bool = True,
+) -> StrongScalingResult:
+    """Simulate a strong-scaling sweep of one kernel over *process_counts*."""
+    require(len(process_counts) > 0, "need at least one process count")
+    runtime = DistributedSpTTN(
+        kernel=kernel,
+        tensors=tensors,
+        schedule=schedule,
+        comm_model=comm_model if comm_model is not None else AlphaBetaModel(),
+    )
+    result = StrongScalingResult(kernel_name=kernel_name)
+    for p in process_counts:
+        result.runs.append(runtime.simulate(int(p), measure=measure))
+    return result

@@ -1,0 +1,29 @@
+"""Execution engine for SpTTN loop nests.
+
+* :mod:`repro.engine.executor` — Algorithm 2: execute a fully-fused loop
+  nest over a CSF sparse tensor, offloading maximal dense (and fiber-led)
+  regions to vectorized NumPy kernels (the BLAS substitution of this
+  reproduction).
+* :mod:`repro.engine.blas` — the vectorized kernel layer plus call
+  classification (axpy / dot / ger / gemv / gemm-like), feeding the
+  operation counters.
+* :mod:`repro.engine.buffers` — intermediate-buffer allocation and reset
+  bookkeeping.
+* :mod:`repro.engine.reference` — dense ``numpy.einsum`` reference used to
+  validate every executor and baseline.
+"""
+
+from repro.engine.blas import classify_call, vectorized_contract
+from repro.engine.buffers import BufferSet
+from repro.engine.executor import LoopNestExecutor, execute_kernel
+from repro.engine.reference import dense_reference, reference_output
+
+__all__ = [
+    "classify_call",
+    "vectorized_contract",
+    "BufferSet",
+    "LoopNestExecutor",
+    "execute_kernel",
+    "dense_reference",
+    "reference_output",
+]

@@ -1,0 +1,560 @@
+"""Loop-nest execution (Algorithm 2 of the paper).
+
+:class:`LoopNestExecutor` runs a fully-fused loop nest — a contraction path
+plus per-term loop orders — over a CSF sparse tensor and dense factor
+operands.  Following Algorithm 2 it operates in two stages:
+
+*Preprocessing* (once per ``execute`` call): the fused loop-nest structure is
+walked symbolically.  Consecutive terms sharing the current loop index are
+grouped under one loop (fusion), buffer-reset points are placed where a
+producer separates from its consumer (the ``X = 0`` lines of Listings 3/4),
+and every maximal single-term region whose remaining indices are dense — or
+are led by the final CSF level (a stored fiber) — is bound to a specialized
+vectorized NumPy kernel (the reproduction's BLAS offload, Figure 6).  The
+result is a cached *plan* of steps per loop-nest site, so the execution hot
+loop performs no per-iteration analysis.
+
+*Execution*: the plan is interpreted; sparse loops walk the CSF tree level
+by level so only stored fibers are visited, dense loops iterate full index
+ranges, and offloaded regions execute one pre-specialized kernel call.
+
+Dense outputs and sparse-pattern outputs (TTTP/SDDMM-style) are both
+supported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.contraction_path import ContractionPath
+from repro.core.expr import SpTTNKernel, parse_kernel
+from repro.core.loop_nest import LoopNest, validate_loop_order
+from repro.core.scheduler import Schedule, SpTTNScheduler
+from repro.engine.blas import specialize_contraction
+from repro.engine.buffers import BufferSet
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+from repro.sptensor.dense import DenseTensor
+from repro.util.counters import OpCounter
+from repro.util.validation import require
+
+TensorLike = Union[COOTensor, CSFTensor, DenseTensor, np.ndarray]
+
+# Operand-recipe modes (first element of a recipe tuple).
+_SPARSE_LEAF = 0      # scalar: csf.values[csf_pos]
+_SPARSE_LOOKUP = 1    # scalar: find_leaf over the bound csf-mode values
+_SPARSE_FIBER = 2     # vector: csf.values[lo:hi] of the current node's children
+_ARRAY = 3            # dense array / buffer / dense output slice
+_SPARSE_OUT_LEAF = 4  # accumulate into out_values[csf_pos]
+_SPARSE_OUT_LOOKUP = 5
+_SPARSE_OUT_FIBER = 6  # accumulate into out_values[lo:hi]
+
+
+class LoopNestExecutor:
+    """Executes one fully-fused loop nest for one SpTTN kernel.
+
+    Parameters
+    ----------
+    kernel:
+        The kernel description.
+    loop_nest:
+        The contraction path and loop order to execute.  The loop order must
+        respect the CSF storage-order restriction (validated on
+        construction).
+    offload:
+        When true (default), maximal dense/fiber-led single-term regions are
+        executed with specialized vectorized NumPy kernels; when false every
+        loop is interpreted and the innermost update is a scalar
+        multiply-add (useful for testing and for modelling unvectorized
+        baselines).
+    counter:
+        Optional :class:`~repro.util.counters.OpCounter` accumulating scalar
+        operation counts, buffer resets and BLAS-call classifications.
+    """
+
+    def __init__(
+        self,
+        kernel: SpTTNKernel,
+        loop_nest: LoopNest,
+        offload: bool = True,
+        counter: Optional[OpCounter] = None,
+    ) -> None:
+        self.kernel = kernel
+        self.loop_nest = loop_nest
+        self.path: ContractionPath = loop_nest.path
+        validate_loop_order(kernel, loop_nest.path, loop_nest.order)
+        self.orders: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(o) for o in loop_nest.order
+        )
+        self.offload = bool(offload)
+        self.counter = counter if counter is not None else OpCounter()
+        self.sparse_name = kernel.sparse_operand.name
+        self.output_name = kernel.output.name
+        self._consumers = self.path.consumers()
+        self._buffer_specs = loop_nest.buffers()
+
+        # run-time state, populated by execute()
+        self._csf: Optional[CSFTensor] = None
+        self._dense: Dict[str, np.ndarray] = {}
+        self._buffers: Optional[BufferSet] = None
+        self._out_dense: Optional[np.ndarray] = None
+        self._out_values: Optional[np.ndarray] = None
+        self._plan_cache: Dict[Tuple[Tuple[int, ...], int], list] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def execute(
+        self, tensors: Mapping[str, TensorLike]
+    ) -> Union[np.ndarray, COOTensor]:
+        """Run the loop nest on concrete tensors keyed by operand name.
+
+        Returns a dense ``numpy.ndarray`` (axes ordered as the kernel's
+        output indices) or, for sparse-pattern outputs, a
+        :class:`~repro.sptensor.coo.COOTensor` sharing the input pattern.
+        """
+        self._prepare(tensors)
+        positions = tuple(range(len(self.path)))
+        self._run(positions, 0, {}, -1, 0)
+        if self.kernel.output.is_sparse:
+            return self._sparse_output()
+        assert self._out_dense is not None
+        return self._out_dense
+
+    # ------------------------------------------------------------------ #
+    # Preparation
+    # ------------------------------------------------------------------ #
+    def _prepare(self, tensors: Mapping[str, TensorLike]) -> None:
+        kernel = self.kernel
+        for op in kernel.operands:
+            require(op.name in tensors, f"missing tensor for operand {op.name!r}")
+
+        sparse_in = tensors[self.sparse_name]
+        spec_indices = kernel.sparse_operand.indices
+        mode_order = tuple(
+            spec_indices.index(name) for name in kernel.csf_mode_order
+        )
+        if isinstance(sparse_in, CSFTensor):
+            if sparse_in.mode_order == mode_order:
+                csf = sparse_in
+            else:
+                csf = CSFTensor.from_coo(sparse_in.to_coo(), mode_order)
+        elif isinstance(sparse_in, COOTensor):
+            csf = CSFTensor.from_coo(sparse_in, mode_order)
+        else:
+            raise TypeError(
+                f"sparse operand {self.sparse_name!r} must be COOTensor or CSFTensor"
+            )
+        for pos, name in enumerate(spec_indices):
+            require(
+                csf.shape[pos] == kernel.index_dims[name],
+                f"sparse operand dimension mismatch on index {name!r}",
+            )
+        self._csf = csf
+
+        self._dense = {}
+        for op in kernel.dense_operands:
+            value = tensors[op.name]
+            arr = value.data if isinstance(value, DenseTensor) else np.asarray(
+                value, dtype=np.float64
+            )
+            expected = tuple(kernel.index_dims[i] for i in op.indices)
+            require(
+                tuple(arr.shape) == expected,
+                f"dense operand {op.name!r} has shape {arr.shape}, expected {expected}",
+            )
+            self._dense[op.name] = arr
+
+        self._buffers = BufferSet(self._buffer_specs, kernel.index_dims, self.counter)
+        if kernel.output.is_sparse:
+            self._out_values = np.zeros(csf.nnz, dtype=np.float64)
+            self._out_dense = None
+        else:
+            shape = tuple(kernel.index_dims[i] for i in kernel.output.indices)
+            self._out_dense = np.zeros(shape if shape else (), dtype=np.float64)
+            self._out_values = None
+        # Plans embed direct references to the freshly allocated arrays, so
+        # they must be rebuilt per execute().
+        self._plan_cache = {}
+
+    def _sparse_output(self) -> COOTensor:
+        csf = self._csf
+        assert csf is not None and self._out_values is not None
+        coords = np.empty((csf.nnz, csf.order), dtype=np.int64)
+        for level in range(csf.order):
+            coords[:, csf.mode_order[level]] = csf.expanded_level_indices(level)
+        return COOTensor(csf.shape, coords, self._out_values, sort=True)
+
+    # ------------------------------------------------------------------ #
+    # Plan construction (Algorithm 2, preprocessing stage)
+    # ------------------------------------------------------------------ #
+    def _term_uses_sparse(self, pos: int) -> bool:
+        term = self.path[pos]
+        return term.lhs == self.sparse_name or term.rhs == self.sparse_name
+
+    def _bound_names(self, positions: Sequence[int], depth: int) -> Tuple[str, ...]:
+        """Loop indices already iterated at a recursion site (static)."""
+        return self.orders[positions[0]][:depth]
+
+    def _reset_list(
+        self,
+        group: Sequence[int],
+        after_positions: Sequence[int],
+        bound_names: Sequence[str],
+    ) -> List[Tuple[np.ndarray, tuple]]:
+        """Buffers to zero before entering *group* (producer/consumer split)."""
+        assert self._buffers is not None
+        after = set(after_positions)
+        resets: List[Tuple[np.ndarray, tuple]] = []
+        bound_set = set(bound_names)
+        for pos in group:
+            term = self.path[pos]
+            if term.out == self.output_name:
+                continue
+            consumer = self._consumers.get(pos)
+            if consumer is not None and consumer in after:
+                axes = self._buffers.axes(term.out)
+                template = tuple(i if i in bound_set else None for i in axes)
+                resets.append((self._buffers.array(term.out), template))
+        return resets
+
+    def _offload_mode(
+        self, group: Sequence[int], depth: int, csf_level: int
+    ) -> Optional[str]:
+        """Decide whether this site is offloadable ('dense'/'fiber') or not."""
+        if len(group) != 1:
+            return None
+        kernel = self.kernel
+        pos = group[0]
+        term = self.path[pos]
+        remaining = self.orders[pos][depth:]
+        if not remaining:
+            return "scalar"
+        if not self.offload:
+            return None
+        sparse_remaining = [i for i in remaining if i in kernel.sparse_indices]
+        uses_sparse = self._term_uses_sparse(pos)
+        writes_sparse_output = (
+            term.out == self.output_name and kernel.output.is_sparse
+        )
+        if not sparse_remaining or not uses_sparse:
+            if writes_sparse_output and sparse_remaining:
+                return None  # would need scattered writes into the pattern
+            return "dense"
+        if len(sparse_remaining) != 1 or remaining[0] != sparse_remaining[0]:
+            return None
+        k = remaining[0]
+        if k != kernel.csf_mode_order[-1]:
+            return None
+        if csf_level != len(kernel.csf_mode_order) - 2:
+            return None
+        if k in term.out_indices and not writes_sparse_output:
+            return None
+        return "fiber"
+
+    def _operand_recipe(
+        self,
+        name: str,
+        indices: Tuple[str, ...],
+        bound_set: set,
+        fiber_index: Optional[str],
+        at_leaf: bool,
+    ):
+        """Static access recipe for one input slot of a term."""
+        kernel = self.kernel
+        if name == self.sparse_name:
+            unbound = [i for i in indices if i not in bound_set]
+            if fiber_index is not None and unbound == [fiber_index]:
+                return (_SPARSE_FIBER,), (fiber_index,)
+            require(
+                not unbound,
+                "internal error: sparse operand offloaded with unbound indices",
+            )
+            mode = _SPARSE_LEAF if at_leaf else _SPARSE_LOOKUP
+            return (mode,), ()
+        if name in self._dense:
+            arr = self._dense[name]
+            axes = indices
+        elif name == self.output_name and not kernel.output.is_sparse:
+            assert self._out_dense is not None
+            arr = self._out_dense
+            axes = indices
+        else:
+            assert self._buffers is not None and name in self._buffers
+            arr = self._buffers.array(name)
+            axes = self._buffers.axes(name)
+        template = tuple(i if i in bound_set else None for i in axes)
+        free = tuple(i for i in axes if i not in bound_set)
+        gather_axis = None
+        if fiber_index is not None and fiber_index in free:
+            gather_axis = free.index(fiber_index)
+        return (_ARRAY, arr, template, gather_axis), free
+
+    def _output_recipe(
+        self,
+        name: str,
+        indices: Tuple[str, ...],
+        bound_set: set,
+        fiber_index: Optional[str],
+        at_leaf: bool,
+    ):
+        """Static write recipe for a term's output slot."""
+        kernel = self.kernel
+        if name == self.output_name and kernel.output.is_sparse:
+            if fiber_index is not None:
+                return (_SPARSE_OUT_FIBER,), (fiber_index,)
+            mode = _SPARSE_OUT_LEAF if at_leaf else _SPARSE_OUT_LOOKUP
+            return (mode,), ()
+        if name == self.output_name:
+            assert self._out_dense is not None
+            arr = self._out_dense
+            axes = indices
+        else:
+            assert self._buffers is not None
+            arr = self._buffers.array(name)
+            axes = self._buffers.axes(name)
+        template = tuple(i if i in bound_set else None for i in axes)
+        free = tuple(i for i in axes if i not in bound_set)
+        return (_ARRAY, arr, template, None), free
+
+    def _build_offload_step(
+        self,
+        pos: int,
+        depth: int,
+        csf_level: int,
+        resets: list,
+        mode: str,
+    ) -> tuple:
+        """Bind one offload site to its recipes and specialized kernel."""
+        kernel = self.kernel
+        term = self.path[pos]
+        bound_set = set(self._bound_names((pos,), depth))
+        at_leaf = csf_level == len(kernel.csf_mode_order) - 1
+        fiber_index = self.orders[pos][depth] if mode == "fiber" else None
+
+        lhs_recipe, lhs_free = self._operand_recipe(
+            term.lhs, term.lhs_indices, bound_set, fiber_index, at_leaf
+        )
+        rhs_recipe, rhs_free = self._operand_recipe(
+            term.rhs, term.rhs_indices, bound_set, fiber_index, at_leaf
+        )
+        out_recipe, out_free = self._output_recipe(
+            term.out, term.out_indices, bound_set, fiber_index, at_leaf
+        )
+        fn, blas_name = specialize_contraction(lhs_free, rhs_free, out_free)
+        return (
+            "offload",
+            resets,
+            lhs_recipe,
+            rhs_recipe,
+            out_recipe,
+            fn,
+            blas_name,
+            mode == "fiber",
+        )
+
+    def _build_plan(
+        self, positions: Tuple[int, ...], depth: int, csf_level: int
+    ) -> list:
+        """Segment a recursion site into executable steps (cached)."""
+        kernel = self.kernel
+        steps: list = []
+        bound_names = self._bound_names(positions, depth)
+        i = 0
+        n = len(positions)
+        while i < n:
+            pos = positions[i]
+            order = self.orders[pos]
+            if len(order) == depth:
+                resets = self._reset_list((pos,), positions[i + 1 :], bound_names)
+                steps.append(
+                    self._build_offload_step(pos, depth, csf_level, resets, "scalar")
+                )
+                i += 1
+                continue
+            idx = order[depth]
+            group: List[int] = []
+            j = i
+            while j < n:
+                p = positions[j]
+                o = self.orders[p]
+                if len(o) > depth and o[depth] == idx:
+                    group.append(p)
+                    j += 1
+                else:
+                    break
+            resets = self._reset_list(group, positions[j:], bound_names)
+            mode = self._offload_mode(group, depth, csf_level)
+            if mode in ("dense", "fiber"):
+                steps.append(
+                    self._build_offload_step(group[0], depth, csf_level, resets, mode)
+                )
+            else:
+                use_csf = (
+                    idx in kernel.sparse_indices
+                    and csf_level + 1 < len(kernel.csf_mode_order)
+                    and kernel.csf_mode_order[csf_level + 1] == idx
+                    and any(self._term_uses_sparse(p) for p in group)
+                )
+                steps.append(
+                    (
+                        "loop",
+                        resets,
+                        idx,
+                        tuple(group),
+                        use_csf,
+                        kernel.index_dims[idx],
+                    )
+                )
+            i = j
+        return steps
+
+    # ------------------------------------------------------------------ #
+    # Plan execution
+    # ------------------------------------------------------------------ #
+    def _run(
+        self,
+        positions: Tuple[int, ...],
+        depth: int,
+        bound: Dict[str, int],
+        csf_level: int,
+        csf_pos: int,
+    ) -> None:
+        key = (positions, depth)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = self._build_plan(positions, depth, csf_level)
+            self._plan_cache[key] = plan
+
+        counter = self.counter
+        csf = self._csf
+        for step in plan:
+            kind = step[0]
+            resets = step[1]
+            for arr, template in resets:
+                arr[
+                    tuple(
+                        bound[name] if name is not None else slice(None)
+                        for name in template
+                    )
+                ] = 0.0
+                counter.buffer_resets += 1
+            if kind == "offload":
+                (_, _, lhs_recipe, rhs_recipe, out_recipe, fn, blas_name, is_fiber) = step
+                if is_fiber:
+                    lo, hi = csf.children_range(csf_level, csf_pos)
+                    ids = csf.fids[csf.order - 1][lo:hi]
+                else:
+                    lo = hi = 0
+                    ids = None
+                lhs = self._resolve_operand(lhs_recipe, bound, csf_pos, lo, hi, ids)
+                rhs = self._resolve_operand(rhs_recipe, bound, csf_pos, lo, hi, ids)
+                out_arr, out_key = self._resolve_output(
+                    out_recipe, bound, csf_pos, lo, hi
+                )
+                if out_arr is None:
+                    continue  # entry outside the sparse pattern
+                flops = fn(lhs, rhs, out_arr, out_key)
+                counter.flops += flops
+                calls = counter.kernel_calls
+                calls[blas_name] = calls.get(blas_name, 0) + 1
+            else:  # "loop"
+                (_, _, idx, group, use_csf, dim) = step
+                if use_csf:
+                    level = csf_level + 1
+                    if level == 0:
+                        lo, hi = 0, csf.fids[0].shape[0]
+                    else:
+                        lo, hi = csf.children_range(csf_level, csf_pos)
+                    ids = csf.fids[level]
+                    for child in range(lo, hi):
+                        bound[idx] = int(ids[child])
+                        self._run(group, depth + 1, bound, level, child)
+                    bound.pop(idx, None)
+                else:
+                    for value in range(dim):
+                        bound[idx] = value
+                        self._run(group, depth + 1, bound, csf_level, csf_pos)
+                    bound.pop(idx, None)
+
+    # ------------------------------------------------------------------ #
+    # Recipe resolution (runtime)
+    # ------------------------------------------------------------------ #
+    def _resolve_operand(self, recipe, bound, csf_pos, lo, hi, ids):
+        mode = recipe[0]
+        if mode == _ARRAY:
+            _, arr, template, gather_axis = recipe
+            view = arr[
+                tuple(
+                    bound[name] if name is not None else slice(None)
+                    for name in template
+                )
+            ]
+            if gather_axis is not None:
+                view = np.take(view, ids, axis=gather_axis)
+            return view
+        csf = self._csf
+        if mode == _SPARSE_FIBER:
+            return csf.values[lo:hi]
+        if mode == _SPARSE_LEAF:
+            return csf.values[csf_pos]
+        # _SPARSE_LOOKUP: the sparse tensor is fully bound via dense loops
+        leaf = csf.find_leaf(
+            [bound[name] for name in self.kernel.csf_mode_order]
+        )
+        return csf.values[leaf] if leaf is not None else 0.0
+
+    def _resolve_output(self, recipe, bound, csf_pos, lo, hi):
+        mode = recipe[0]
+        if mode == _ARRAY:
+            _, arr, template, _ = recipe
+            key = tuple(
+                bound[name] if name is not None else slice(None) for name in template
+            )
+            return arr, key
+        if mode == _SPARSE_OUT_FIBER:
+            return self._out_values, slice(lo, hi)
+        if mode == _SPARSE_OUT_LEAF:
+            return self._out_values, csf_pos
+        # _SPARSE_OUT_LOOKUP
+        leaf = self._csf.find_leaf(
+            [bound[name] for name in self.kernel.csf_mode_order]
+        )
+        if leaf is None:
+            return None, None
+        return self._out_values, leaf
+
+
+# --------------------------------------------------------------------------- #
+# One-call convenience API
+# --------------------------------------------------------------------------- #
+def execute_kernel(
+    spec: str,
+    tensors: Sequence[TensorLike],
+    names: Optional[Sequence[str]] = None,
+    buffer_dim_bound: Optional[int] = 2,
+    offload: bool = True,
+    counter: Optional[OpCounter] = None,
+) -> Tuple[Union[np.ndarray, COOTensor], Schedule]:
+    """Parse, schedule and execute an SpTTN kernel in one call.
+
+    Example
+    -------
+    >>> out, schedule = execute_kernel("ijk,ja,ka->ia", [T, B, C])  # MTTKRP
+
+    Returns the output tensor and the :class:`~repro.core.scheduler.Schedule`
+    that was selected (so callers can inspect the chosen loop nest).
+    """
+    kernel = parse_kernel(spec, tensors, names=names)
+    scheduler = SpTTNScheduler(kernel, buffer_dim_bound=buffer_dim_bound)
+    schedule = scheduler.schedule()
+    executor = LoopNestExecutor(
+        kernel, schedule.loop_nest, offload=offload, counter=counter
+    )
+    operand_tensors = {
+        op.name: tensor for op, tensor in zip(kernel.operands, tensors)
+    }
+    output = executor.execute(operand_tensors)
+    return output, schedule

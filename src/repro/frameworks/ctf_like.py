@@ -1,0 +1,192 @@
+"""CTF-style *pairwise* contraction baseline (Section 2.4.2).
+
+The Cyclops Tensor Framework contracts a tensor network as a sequence of
+pairwise contractions, fully materializing every intermediate.  For SpTTN
+kernels this keeps the asymptotic operation count low but requires storing
+intermediates whose index sets include sparse-tensor modes — for large mode
+sizes those intermediates dominate memory and often cannot be allocated at
+all (the paper reports CTF running out of memory on enron/nell-2 TTMc).
+
+Each term of the minimum-flop contraction path is executed independently:
+
+* sparse × dense terms stream over the stored nonzeros and scatter into a
+  dense intermediate of the term's full output shape;
+* dense × dense terms are a single ``einsum``.
+
+``memory_limit_elements`` bounds the largest intermediate; exceeding it
+raises :class:`IntermediateMemoryError`, which the benchmark harness reports
+as an out-of-memory row, mirroring the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.contraction_path import ContractionPath, rank_contraction_paths
+from repro.core.expr import SpTTNKernel
+from repro.frameworks.base import FrameworkBaseline, Output, TensorLike
+from repro.sptensor.coo import COOTensor
+
+
+class IntermediateMemoryError(MemoryError):
+    """Raised when a pairwise intermediate exceeds the configured memory limit."""
+
+
+class CTFLikeBaseline(FrameworkBaseline):
+    """Pairwise contraction with materialized dense intermediates."""
+
+    name = "ctf-pairwise"
+
+    def __init__(
+        self,
+        counter=None,
+        memory_limit_elements: int = 200_000_000,
+        path: Optional[ContractionPath] = None,
+    ) -> None:
+        super().__init__(counter)
+        self.memory_limit_elements = int(memory_limit_elements)
+        self.path = path
+
+    # ------------------------------------------------------------------ #
+    def _execute(
+        self, kernel: SpTTNKernel, tensors: Mapping[str, TensorLike]
+    ) -> Output:
+        path = self.path
+        if path is None:
+            path = rank_contraction_paths(kernel)[0][0]
+        coo = self.as_coo(tensors[kernel.sparse_operand.name])
+        env: Dict[str, np.ndarray] = {
+            op.name: self.as_array(tensors[op.name]) for op in kernel.dense_operands
+        }
+        sparse_name = kernel.sparse_operand.name
+        sparse_indices = kernel.sparse_operand.indices
+        mode_of = {name: pos for pos, name in enumerate(sparse_indices)}
+        self._max_intermediate = 0
+
+        for term in path:
+            out_shape = tuple(kernel.index_dims[i] for i in term.out_indices)
+            out_size = int(np.prod(out_shape)) if out_shape else 1
+            is_last = term.out == kernel.output.name
+            if not is_last or not kernel.output.is_sparse:
+                if out_size > self.memory_limit_elements:
+                    raise IntermediateMemoryError(
+                        f"pairwise intermediate {term.out!r} needs {out_size} elements, "
+                        f"limit is {self.memory_limit_elements}"
+                    )
+                self._max_intermediate = max(self._max_intermediate, out_size)
+
+            if term.lhs == sparse_name or term.rhs == sparse_name:
+                other = term.rhs if term.lhs == sparse_name else term.lhs
+                other_indices = (
+                    term.rhs_indices if term.lhs == sparse_name else term.lhs_indices
+                )
+                result = self._sparse_times_dense(
+                    kernel, coo, mode_of, env.get(other), other, other_indices, term
+                )
+            else:
+                result = self._dense_pair(kernel, env, term)
+            env[term.out] = result
+
+        final = env[kernel.output.name]
+        if kernel.output.is_sparse:
+            return final  # already restricted to the pattern (COO values)
+        return final
+
+    # ------------------------------------------------------------------ #
+    def _sparse_times_dense(
+        self,
+        kernel: SpTTNKernel,
+        coo: COOTensor,
+        mode_of: Dict[str, int],
+        other_array: Optional[np.ndarray],
+        other_name: str,
+        other_indices,
+        term,
+    ):
+        """Contract the sparse tensor (or a sparse-patterned output) with a dense operand."""
+        dense_free = tuple(i for i in other_indices if i not in kernel.sparse_indices)
+        is_last = term.out == kernel.output.name
+        out_sparse = is_last and kernel.output.is_sparse
+
+        if out_sparse:
+            out_values = np.zeros(coo.nnz, dtype=np.float64)
+        else:
+            out_shape = tuple(kernel.index_dims[i] for i in term.out_indices)
+            out = np.zeros(out_shape if out_shape else (), dtype=np.float64)
+
+        for row in range(coo.nnz):
+            coords = coo.indices[row]
+            value = coo.values[row]
+            if other_array is None:
+                contrib = value
+            else:
+                key = tuple(
+                    int(coords[mode_of[i]]) if i in kernel.sparse_indices else slice(None)
+                    for i in other_indices
+                )
+                slice_view = other_array[key]
+                contrib = value * slice_view
+                self.counter.add_flops(2 * max(1, int(np.size(slice_view))))
+            if out_sparse:
+                out_values[row] += float(np.sum(contrib)) if np.ndim(contrib) else float(contrib)
+                continue
+            out_key = []
+            for i in term.out_indices:
+                if i in kernel.sparse_indices:
+                    out_key.append(int(coords[mode_of[i]]))
+                else:
+                    out_key.append(slice(None))
+            # sum over dense indices of `other` that are not kept in the output
+            if other_array is not None:
+                kept = [i for i in dense_free if i in term.out_indices]
+                dropped_axes = tuple(
+                    pos for pos, i in enumerate(dense_free) if i not in term.out_indices
+                )
+                if dropped_axes and np.ndim(contrib):
+                    contrib = contrib.sum(axis=dropped_axes)
+                # align contrib axes (kept order) with the output free axes order
+                out_free = [i for i in term.out_indices if i not in kernel.sparse_indices]
+                if kept and out_free and kept != out_free:
+                    perm = [kept.index(i) for i in out_free]
+                    contrib = np.transpose(contrib, perm)
+            target = out[tuple(out_key)]
+            if np.ndim(target) == 0:
+                out[tuple(out_key)] += contrib
+            else:
+                target += contrib
+        if out_sparse:
+            return coo.with_values(out_values)
+        return out
+
+    def _dense_pair(self, kernel: SpTTNKernel, env: Dict[str, np.ndarray], term):
+        """Contract two dense (input or intermediate) operands with einsum."""
+        letters: Dict[str, str] = {}
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+        def letter(idx: str) -> str:
+            if idx not in letters:
+                letters[idx] = alphabet[len(letters)]
+            return letters[idx]
+
+        lhs = env[term.lhs]
+        rhs = env[term.rhs]
+        spec = (
+            "".join(letter(i) for i in term.lhs_indices)
+            + ","
+            + "".join(letter(i) for i in term.rhs_indices)
+            + "->"
+            + "".join(letter(i) for i in term.out_indices)
+        )
+        space = 1
+        for i in set(term.lhs_indices) | set(term.rhs_indices):
+            space *= kernel.index_dims[i]
+        self.counter.add_flops(2 * space)
+        return np.einsum(spec, lhs, rhs)
+
+    def metadata(self) -> Dict[str, object]:
+        return {
+            "strategy": "pairwise",
+            "max_intermediate_elements": getattr(self, "_max_intermediate", 0),
+        }

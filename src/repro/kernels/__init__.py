@@ -1,0 +1,33 @@
+"""Named SpTTN kernels used by the paper's evaluation and applications.
+
+Each helper builds the einsum-style specification for one kernel family
+(for any tensor order and target mode), parses it into an
+:class:`~repro.core.expr.SpTTNKernel`, and executes it through the
+scheduler + loop-nest executor.  The ``*_kernel`` variants return the kernel
+object without executing, for use by the scheduler benchmarks and the
+distributed runtime.
+"""
+
+from repro.kernels.spttn import KernelBuilder, build_kernel, run_kernel
+from repro.kernels.mttkrp import mttkrp, mttkrp_kernel
+from repro.kernels.ttmc import ttmc, ttmc_kernel, all_mode_ttmc, all_mode_ttmc_kernel
+from repro.kernels.tttp import tttp, tttp_kernel, sddmm, sddmm_kernel
+from repro.kernels.tttc import tttc, tttc_kernel
+
+__all__ = [
+    "KernelBuilder",
+    "build_kernel",
+    "run_kernel",
+    "mttkrp",
+    "mttkrp_kernel",
+    "ttmc",
+    "ttmc_kernel",
+    "all_mode_ttmc",
+    "all_mode_ttmc_kernel",
+    "tttp",
+    "tttp_kernel",
+    "sddmm",
+    "sddmm_kernel",
+    "tttc",
+    "tttc_kernel",
+]

@@ -1,0 +1,320 @@
+"""Compressed Sparse Fiber (CSF) storage for sparse tensors.
+
+CSF (Smith & Karypis, "Tensor-matrix products with a compressed sparse
+tensor") stores an order-``d`` sparse tensor as a forest of depth ``d``:
+level 0 holds the distinct indices of the first stored mode, the children of
+a level-``k`` node are the distinct indices of mode ``k+1`` appearing under
+that index prefix, and the values are attached to the leaves.
+
+SpTTN loop nests iterate the sparse indices *in CSF storage order* (the
+framework restricts loop orders to be consistent with this order, Section 5
+of the paper), so the execution engine drives its sparse loops directly over
+the level arrays stored here.
+
+Representation
+--------------
+``fids[k]``
+    1-D ``int64`` array of node index values at level ``k`` (length = number
+    of distinct mode-prefixes of length ``k+1``, i.e. ``nnz_{I_1..I_{k+1}}``).
+``fptr[k]``
+    1-D ``int64`` array of length ``len(fids[k]) + 1``; the children of node
+    ``p`` at level ``k`` occupy positions ``fptr[k][p]:fptr[k][p+1]`` of
+    level ``k+1``.  There is no ``fptr`` for the last level.
+``values``
+    1-D ``float64`` array aligned with ``fids[order-1]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sptensor.coo import COOTensor
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class CSFNode:
+    """A handle to one node of the CSF tree (level + position within level)."""
+
+    level: int
+    position: int
+
+
+class CSFTensor:
+    """A sparse tensor in compressed sparse fiber format.
+
+    Construct via :meth:`from_coo`; direct construction from level arrays is
+    supported for tests and for distributed-local subtensors.
+    """
+
+    __slots__ = ("shape", "mode_order", "fids", "fptr", "values")
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        mode_order: Tuple[int, ...],
+        fids: List[np.ndarray],
+        fptr: List[np.ndarray],
+        values: np.ndarray,
+    ) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.mode_order = tuple(int(m) for m in mode_order)
+        order = len(self.shape)
+        require(
+            sorted(self.mode_order) == list(range(order)),
+            f"mode_order must be a permutation of 0..{order - 1}, got {mode_order}",
+        )
+        require(len(fids) == order, "fids must have one array per level")
+        require(len(fptr) == order - 1, "fptr must have order-1 arrays")
+        self.fids = [np.asarray(f, dtype=np.int64) for f in fids]
+        self.fptr = [np.asarray(p, dtype=np.int64) for p in fptr]
+        self.values = np.asarray(values, dtype=np.float64)
+        require(
+            self.values.shape[0] == self.fids[-1].shape[0],
+            "values must align with the leaf level",
+        )
+        for k in range(order - 1):
+            require(
+                self.fptr[k].shape[0] == self.fids[k].shape[0] + 1,
+                f"fptr[{k}] must have len(fids[{k}])+1 entries",
+            )
+            require(
+                int(self.fptr[k][-1]) == self.fids[k + 1].shape[0],
+                f"fptr[{k}] must cover all nodes of level {k + 1}",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_coo(
+        cls, coo: COOTensor, mode_order: Optional[Sequence[int]] = None
+    ) -> "CSFTensor":
+        """Build a CSF tensor from a COO tensor.
+
+        Parameters
+        ----------
+        coo:
+            Source tensor.
+        mode_order:
+            Order in which modes become CSF levels; defaults to the natural
+            order ``(0, 1, ..., d-1)``.  The paper stores the sparse tensor
+            once with a fixed mode order and restricts loop orders to it.
+        """
+        order = coo.order
+        if mode_order is None:
+            mode_order = tuple(range(order))
+        else:
+            mode_order = tuple(int(m) for m in mode_order)
+            require(
+                sorted(mode_order) == list(range(order)),
+                f"mode_order must be a permutation of 0..{order - 1}",
+            )
+        if coo.nnz == 0:
+            fids = [np.zeros(0, dtype=np.int64) for _ in range(order)]
+            fptr = [np.zeros(1, dtype=np.int64) for _ in range(order - 1)]
+            return cls(coo.shape, mode_order, fids, fptr, np.zeros(0))
+
+        idx = coo.indices[:, list(mode_order)]
+        vals = coo.values
+        # Sort lexicographically by the permuted index columns.
+        perm = np.lexsort(idx.T[::-1])
+        idx = idx[perm]
+        vals = vals[perm]
+
+        fids: List[np.ndarray] = []
+        fptr: List[np.ndarray] = []
+        # ``group_ids`` assigns each nonzero the id of its length-(k+1) prefix.
+        prev_group = np.zeros(idx.shape[0], dtype=np.int64)
+        for level in range(order):
+            keys = np.stack([prev_group, idx[:, level]], axis=1)
+            # new prefix starts wherever the (group, index) pair changes
+            change = np.ones(idx.shape[0], dtype=bool)
+            if idx.shape[0] > 1:
+                change[1:] = np.any(keys[1:] != keys[:-1], axis=1)
+            group = np.cumsum(change) - 1
+            starts = np.flatnonzero(change)
+            fids.append(idx[starts, level].copy())
+            if level > 0:
+                # fptr for the previous level: where does each parent's child
+                # range begin among this level's nodes?
+                parent_of_node = prev_group[starts]
+                n_parents = fids[level - 1].shape[0]
+                counts = np.zeros(n_parents, dtype=np.int64)
+                np.add.at(counts, parent_of_node, 1)
+                ptr = np.zeros(n_parents + 1, dtype=np.int64)
+                np.cumsum(counts, out=ptr[1:])
+                fptr.append(ptr)
+            prev_group = group
+        return cls(coo.shape, mode_order, fids, fptr, vals.copy())
+
+    @classmethod
+    def from_dense(
+        cls, array: np.ndarray, mode_order: Optional[Sequence[int]] = None
+    ) -> "CSFTensor":
+        return cls.from_coo(COOTensor.from_dense(array), mode_order)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def level_shape(self) -> Tuple[int, ...]:
+        """Dimensions of the tensor permuted into CSF level order."""
+        return tuple(self.shape[m] for m in self.mode_order)
+
+    def nnz_at_level(self, level: int) -> int:
+        """Number of CSF nodes at *level* (``nnz_{I_1...I_{level+1}}`` of the paper)."""
+        if level < 0 or level >= self.order:
+            raise ValueError(f"level {level} out of range for order {self.order}")
+        return int(self.fids[level].shape[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = ", ".join(str(self.nnz_at_level(k)) for k in range(self.order))
+        return (
+            f"CSFTensor(shape={self.shape}, mode_order={self.mode_order}, "
+            f"level_sizes=({sizes}))"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Navigation
+    # ------------------------------------------------------------------ #
+    def roots(self) -> np.ndarray:
+        """Index values at level 0 (distinct first-mode indices)."""
+        return self.fids[0]
+
+    def children_range(self, level: int, position: int) -> Tuple[int, int]:
+        """Half-open range of child positions at ``level + 1`` for a node."""
+        if level < 0 or level >= self.order - 1:
+            raise ValueError(
+                f"level {level} has no children (order {self.order})"
+            )
+        ptr = self.fptr[level]
+        if position < 0 or position >= ptr.shape[0] - 1:
+            raise ValueError(f"position {position} out of range at level {level}")
+        return int(ptr[position]), int(ptr[position + 1])
+
+    def child_indices(self, level: int, position: int) -> np.ndarray:
+        """Index values of the children of a node (view into ``fids[level+1]``)."""
+        lo, hi = self.children_range(level, position)
+        return self.fids[level + 1][lo:hi]
+
+    def leaf_values(self, position_range: Tuple[int, int]) -> np.ndarray:
+        """Values for a range of leaf positions (view)."""
+        lo, hi = position_range
+        return self.values[lo:hi]
+
+    def iter_nodes(self, level: int) -> Iterator[CSFNode]:
+        """Iterate handles over all nodes of *level*."""
+        for pos in range(self.nnz_at_level(level)):
+            yield CSFNode(level, pos)
+
+    def subtree_leaf_range(self, level: int, position: int) -> Tuple[int, int]:
+        """Range of leaf positions (nonzeros) below a node."""
+        lo, hi = position, position + 1
+        for lvl in range(level, self.order - 1):
+            lo = int(self.fptr[lvl][lo])
+            hi = int(self.fptr[lvl][hi])
+        return lo, hi
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_coo(self) -> COOTensor:
+        """Expand back to COO (in the original mode order)."""
+        if self.nnz == 0:
+            return COOTensor.empty(self.shape)
+        order = self.order
+        # Expand per-level indices down to the leaves.
+        expanded = np.empty((self.nnz, order), dtype=np.int64)
+        # Start with the leaf level, then propagate ancestors upward by
+        # repeating each level's index over its subtree leaf range.
+        for level in range(order):
+            ids = self.fids[level]
+            if level == order - 1:
+                expanded[:, level] = ids
+                continue
+            # repeat counts: number of leaves under each node of this level
+            counts = np.ones(ids.shape[0], dtype=np.int64)
+            lo = np.arange(ids.shape[0], dtype=np.int64)
+            hi = lo + 1
+            for lvl in range(level, order - 1):
+                lo = self.fptr[lvl][lo]
+                hi = self.fptr[lvl][hi]
+            counts = hi - lo
+            expanded[:, level] = np.repeat(ids, counts)
+        # Undo the mode permutation.
+        original = np.empty_like(expanded)
+        for csf_pos, mode in enumerate(self.mode_order):
+            original[:, mode] = expanded[:, csf_pos]
+        return COOTensor(self.shape, original, self.values, sort=True)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    # ------------------------------------------------------------------ #
+    # Vectorized views used by the execution engine
+    # ------------------------------------------------------------------ #
+    def expanded_level_indices(self, level: int) -> np.ndarray:
+        """Index value of the level-*level* ancestor of every leaf (length nnz).
+
+        Used by vectorized baseline executors that stream over all nonzeros
+        at once rather than walking the tree.
+        """
+        if level < 0 or level >= self.order:
+            raise ValueError(f"level {level} out of range")
+        ids = self.fids[level]
+        if level == self.order - 1:
+            return ids
+        lo = np.arange(ids.shape[0], dtype=np.int64)
+        hi = lo + 1
+        for lvl in range(level, self.order - 1):
+            lo = self.fptr[lvl][lo]
+            hi = self.fptr[lvl][hi]
+        counts = hi - lo
+        return np.repeat(ids, counts)
+
+    def find_leaf(self, level_indices: Sequence[int]) -> Optional[int]:
+        """Leaf position of the entry with the given per-level index values.
+
+        *level_indices* is given in CSF level order (i.e. already permuted by
+        ``mode_order``).  Returns ``None`` when the entry is not stored.
+        Lookup is a binary search per level, ``O(order * log nnz)``.
+        """
+        if len(level_indices) != self.order:
+            raise ValueError(
+                f"expected {self.order} index values, got {len(level_indices)}"
+            )
+        lo, hi = 0, self.fids[0].shape[0]
+        for level, want in enumerate(level_indices):
+            ids = self.fids[level][lo:hi]
+            pos = int(np.searchsorted(ids, int(want)))
+            if pos >= ids.shape[0] or ids[pos] != int(want):
+                return None
+            node = lo + pos
+            if level == self.order - 1:
+                return node
+            lo = int(self.fptr[level][node])
+            hi = int(self.fptr[level][node + 1])
+        return None  # pragma: no cover - unreachable
+
+    def leaf_parent_positions(self) -> np.ndarray:
+        """Position of each leaf's parent node (length nnz).
+
+        Useful for segment-reduction based executors.
+        """
+        if self.order == 1:
+            return np.zeros(self.nnz, dtype=np.int64)
+        ptr = self.fptr[-1]
+        counts = np.diff(ptr)
+        return np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)

@@ -1,0 +1,101 @@
+"""Labelled dense tensors (the factor operands of SpTTN kernels).
+
+A :class:`DenseTensor` is a thin wrapper around a ``numpy.ndarray`` that
+carries a name (for diagnostics and loop-nest pretty-printing) and exposes
+the small amount of structure the scheduler needs: per-mode dimensions and
+slicing by a partial index assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_shape, require
+
+
+class DenseTensor:
+    """A named dense tensor.
+
+    Parameters
+    ----------
+    data:
+        The underlying array; copied only if ``copy=True``.
+    name:
+        Optional name used in diagnostics and generated loop-nest listings.
+    """
+
+    __slots__ = ("data", "name")
+
+    def __init__(self, data: np.ndarray, name: Optional[str] = None, copy: bool = False) -> None:
+        if copy:
+            arr = np.array(data, dtype=np.float64, copy=True)
+        else:
+            arr = np.asarray(data, dtype=np.float64)
+        if arr.ndim == 0:
+            arr = arr.reshape(1)
+        self.data = arr
+        self.name = name or "D"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def order(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseTensor(name={self.name!r}, shape={self.shape})"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, shape: Sequence[int], name: Optional[str] = None) -> "DenseTensor":
+        return cls(np.zeros(check_shape(shape)), name=name)
+
+    @classmethod
+    def random(
+        cls,
+        shape: Sequence[int],
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        scale: float = 1.0,
+    ) -> "DenseTensor":
+        """A dense tensor with i.i.d. uniform(0, scale) entries."""
+        rng = np.random.default_rng(seed)
+        return cls(rng.random(check_shape(shape)) * float(scale), name=name)
+
+    def copy(self) -> "DenseTensor":
+        return DenseTensor(self.data.copy(), name=self.name)
+
+    # ------------------------------------------------------------------ #
+    def slice_at(self, assignment: Dict[int, int]) -> np.ndarray:
+        """Slice the array fixing the modes given in *assignment*.
+
+        ``assignment`` maps mode position -> index value.  The returned array
+        is a view with the fixed modes removed, in the order of the remaining
+        modes.
+        """
+        key = []
+        for mode in range(self.order):
+            if mode in assignment:
+                val = int(assignment[mode])
+                require(
+                    0 <= val < self.shape[mode],
+                    f"index {val} out of bounds for mode {mode} of {self.name}",
+                )
+                key.append(val)
+            else:
+                key.append(slice(None))
+        return self.data[tuple(key)]
+
+    def allclose(self, other: "DenseTensor", rtol: float = 1e-10, atol: float = 1e-12) -> bool:
+        return self.shape == other.shape and bool(
+            np.allclose(self.data, other.data, rtol=rtol, atol=atol)
+        )

@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers, timers, and operation counters."""
+
+from repro.util.validation import (
+    check_axis,
+    check_dtype_real,
+    check_positive_int,
+    check_shape,
+    require,
+)
+from repro.util.timing import Timer, timed
+from repro.util.counters import OpCounter
+
+__all__ = [
+    "check_axis",
+    "check_dtype_real",
+    "check_positive_int",
+    "check_shape",
+    "require",
+    "Timer",
+    "timed",
+    "OpCounter",
+]

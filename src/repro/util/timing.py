@@ -1,0 +1,73 @@
+"""Lightweight wall-clock timing helpers for benchmarks and the autotuner."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("search"):
+    ...     pass
+    >>> "search" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean elapsed time of a section; 0.0 if the section never ran."""
+        if self.counts.get(name, 0) == 0:
+            return 0.0
+        return self.totals[name] / self.counts[name]
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def summary(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self.totals):
+            lines.append(
+                f"{name:30s} total={self.totals[name]:10.6f}s "
+                f"calls={self.counts[name]:6d} mean={self.mean(name):10.6f}s"
+            )
+        return "\n".join(lines)
+
+
+def timed(func: Callable, *args, repeat: int = 1, **kwargs):
+    """Run ``func(*args, **kwargs)`` *repeat* times, return (best_time, result).
+
+    The result of the final invocation is returned alongside the minimum
+    wall-clock time over the repeats (the standard timeit-style estimator).
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    best: Optional[float] = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result

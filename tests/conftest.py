@@ -1,0 +1,115 @@
+"""Shared fixtures for the test suite.
+
+All fixtures use small tensor sizes so the full suite runs in a few minutes;
+correctness of the loop-nest machinery does not depend on scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.expr import parse_kernel
+from repro.sptensor import COOTensor, DenseTensor, random_dense_matrix, random_sparse_tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_coo():
+    """A tiny deterministic order-3 sparse tensor."""
+    indices = [
+        (0, 0, 0),
+        (0, 1, 2),
+        (1, 0, 1),
+        (1, 2, 0),
+        (2, 1, 1),
+        (3, 2, 2),
+        (3, 0, 0),
+    ]
+    values = [1.0, 2.0, -1.5, 0.5, 3.0, -2.0, 4.0]
+    return COOTensor((4, 3, 3), indices, values)
+
+
+@pytest.fixture
+def random_coo3():
+    """A random order-3 sparse tensor of moderate density."""
+    return random_sparse_tensor((18, 15, 12), density=0.03, seed=7)
+
+
+@pytest.fixture
+def random_coo4():
+    """A random order-4 sparse tensor."""
+    return random_sparse_tensor((10, 9, 8, 7), density=0.02, seed=11)
+
+
+@pytest.fixture
+def mttkrp_setup(random_coo3):
+    """(kernel, tensors dict) for an order-3 MTTKRP with R=5."""
+    T = random_coo3
+    B = random_dense_matrix(T.shape[1], 5, seed=1, name="B")
+    C = random_dense_matrix(T.shape[2], 5, seed=2, name="C")
+    kernel = parse_kernel("ijk,ja,ka->ia", [T, B, C], names=["T", "B", "C"])
+    return kernel, {"T": T, "B": B, "C": C}
+
+
+@pytest.fixture
+def ttmc_setup(random_coo3):
+    """(kernel, tensors dict) for an order-3 TTMc with R=4, S=5."""
+    T = random_coo3
+    U = random_dense_matrix(T.shape[1], 4, seed=3, name="U")
+    V = random_dense_matrix(T.shape[2], 5, seed=4, name="V")
+    kernel = parse_kernel("ijk,jr,ks->irs", [T, U, V], names=["T", "U", "V"])
+    return kernel, {"T": T, "U": U, "V": V}
+
+
+@pytest.fixture
+def ttmc4_setup(random_coo4):
+    """(kernel, tensors dict) for an order-4 TTMc."""
+    T = random_coo4
+    U = random_dense_matrix(T.shape[1], 3, seed=5, name="U")
+    V = random_dense_matrix(T.shape[2], 4, seed=6, name="V")
+    W = random_dense_matrix(T.shape[3], 3, seed=7, name="W")
+    kernel = parse_kernel(
+        "ijkl,jr,ks,lt->irst", [T, U, V, W], names=["T", "U", "V", "W"]
+    )
+    return kernel, {"T": T, "U": U, "V": V, "W": W}
+
+
+@pytest.fixture
+def tttp_setup(random_coo3):
+    """(kernel, tensors dict) for an order-3 TTTP (sparse-pattern output)."""
+    T = random_coo3
+    A = random_dense_matrix(T.shape[0], 4, seed=8, name="A")
+    B = random_dense_matrix(T.shape[1], 4, seed=9, name="B")
+    C = random_dense_matrix(T.shape[2], 4, seed=10, name="C")
+    kernel = parse_kernel(
+        "ijk,ir,jr,kr->ijk", [T, A, B, C], names=["T", "A", "B", "C"]
+    )
+    return kernel, {"T": T, "A": A, "B": B, "C": C}
+
+
+@pytest.fixture
+def allmode_setup(random_coo3):
+    """(kernel, tensors dict) for the order-3 all-mode TTMc."""
+    T = random_coo3
+    U = random_dense_matrix(T.shape[0], 3, seed=11, name="U")
+    V = random_dense_matrix(T.shape[1], 4, seed=12, name="V")
+    W = random_dense_matrix(T.shape[2], 3, seed=13, name="W")
+    kernel = parse_kernel(
+        "ijk,ir,js,kt->rst", [T, U, V, W], names=["T", "U", "V", "W"]
+    )
+    return kernel, {"T": T, "U": U, "V": V, "W": W}
+
+
+ALL_KERNEL_FIXTURES = [
+    "mttkrp_setup",
+    "ttmc_setup",
+    "ttmc4_setup",
+    "tttp_setup",
+    "allmode_setup",
+]

@@ -1,0 +1,175 @@
+"""Unit tests for contraction paths and their enumeration."""
+
+import pytest
+
+from repro.core.contraction_path import (
+    count_contraction_paths,
+    enumerate_contraction_paths,
+    path_flop_estimate,
+    path_intermediate_size_estimate,
+    rank_contraction_paths,
+    single_term_path,
+    term_flop_estimate,
+)
+
+
+def _operand_names(kernel):
+    return {op.name for op in kernel.operands}
+
+
+class TestEnumeration:
+    def test_two_dense_operands_paths(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        paths = enumerate_contraction_paths(kernel)
+        # 3 input tensors -> 3 unordered pairings for the first contraction
+        assert len(paths) == 3
+        for path in paths:
+            assert len(path) == 2
+
+    def test_three_dense_operands_paths(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        paths = enumerate_contraction_paths(kernel)
+        assert len(paths) > 3
+        assert len(paths) <= count_contraction_paths(4)
+
+    def test_every_path_ends_at_output(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        for path in enumerate_contraction_paths(kernel):
+            assert path[-1].out == kernel.output.name
+            assert set(path[-1].out_indices) == set(kernel.output.indices)
+
+    def test_every_input_used_exactly_once(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        names = _operand_names(kernel)
+        for path in enumerate_contraction_paths(kernel):
+            used = [t.lhs for t in path] + [t.rhs for t in path]
+            for name in names:
+                assert used.count(name) == 1
+
+    def test_intermediates_consumed_exactly_once(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        for path in enumerate_contraction_paths(kernel):
+            consumers = path.consumers()
+            assert len(consumers) == len(path) - 1
+            for producer, consumer in consumers.items():
+                assert consumer > producer
+
+    def test_intermediate_indices_only_keep_needed(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        for path in enumerate_contraction_paths(kernel):
+            for term in path.terms[:-1]:
+                for idx in term.out_indices:
+                    # every kept index is needed by the output or another term
+                    needed = set(kernel.output.indices)
+                    assert idx in needed or any(
+                        idx in t.lhs_indices or idx in t.rhs_indices
+                        for t in path.terms
+                        if t is not term
+                    )
+
+    def test_max_paths_cap(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        paths = enumerate_contraction_paths(kernel, max_paths=2)
+        assert len(paths) == 2
+
+    def test_dedupe_reduces_count(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        deduped = enumerate_contraction_paths(kernel, dedupe=True)
+        raw = enumerate_contraction_paths(kernel, dedupe=False)
+        assert len(deduped) <= len(raw)
+
+    def test_count_formula(self):
+        assert count_contraction_paths(2) == 1
+        assert count_contraction_paths(3) == 3
+        assert count_contraction_paths(4) == 18
+        assert count_contraction_paths(5) == 180
+
+    def test_count_requires_two(self):
+        with pytest.raises(ValueError):
+            count_contraction_paths(1)
+
+
+class TestTermProperties:
+    def test_all_indices_union(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        path = enumerate_contraction_paths(kernel)[0]
+        for term in path:
+            assert set(term.all_indices) == (
+                set(term.lhs_indices) | set(term.rhs_indices) | set(term.out_indices)
+            )
+
+    def test_contracted_indices(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        for path in enumerate_contraction_paths(kernel):
+            for term in path:
+                for idx in term.contracted_indices:
+                    assert idx not in term.out_indices
+
+    def test_max_loop_depth(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        paths = enumerate_contraction_paths(kernel)
+        depths = {p.max_loop_depth() for p in paths}
+        # T-first paths have depth 4; the dense-first path (Figure 1d) has 5
+        assert 4 in depths and 5 in depths
+
+    def test_involves(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        path = enumerate_contraction_paths(kernel)[0]
+        assert any(t.involves("T") for t in path)
+
+
+class TestCostEstimates:
+    def test_term_flops_use_nnz_statistics(self, ttmc_setup):
+        kernel, tensors = ttmc_setup
+        paths = enumerate_contraction_paths(kernel)
+        t_first = next(
+            p for p in paths if "T" in (p[0].lhs, p[0].rhs)
+        )
+        first = t_first[0]
+        expected_sparse = kernel.sparse_subset_nnz(
+            [i for i in first.all_indices if i in kernel.sparse_indices]
+        )
+        dense = 1.0
+        for i in first.all_indices:
+            if i not in kernel.sparse_indices:
+                dense *= kernel.index_dims[i]
+        assert term_flop_estimate(kernel, first) == pytest.approx(
+            2.0 * expected_sparse * dense
+        )
+
+    def test_ranking_prefers_sparse_first_for_ttmc(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        ranked = rank_contraction_paths(kernel)
+        best_path = ranked[0][0]
+        # the best TTMc path contracts the sparse tensor first (Figure 1a-c),
+        # not the dense-dense pair (Figure 1d)
+        assert "T" in (best_path[0].lhs, best_path[0].rhs)
+        assert ranked[0][1] <= ranked[-1][1]
+
+    def test_path_flops_sum_of_terms(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        path = enumerate_contraction_paths(kernel)[0]
+        assert path_flop_estimate(kernel, path) == pytest.approx(
+            sum(term_flop_estimate(kernel, t) for t in path)
+        )
+
+    def test_intermediate_size_estimate_positive(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        for path in enumerate_contraction_paths(kernel):
+            assert path_intermediate_size_estimate(kernel, path) > 0
+
+
+class TestSingleTermPath:
+    def test_single_term_path_structure(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        path = single_term_path(kernel)
+        assert len(path) == kernel.n_inputs - 1
+        assert path[0].lhs == kernel.sparse_operand.name
+        assert path[-1].out == kernel.output.name
+
+    def test_single_term_path_order4(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        path = single_term_path(kernel)
+        used = [t.lhs for t in path] + [t.rhs for t in path]
+        for op in kernel.operands:
+            assert used.count(op.name) == 1

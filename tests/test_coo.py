@@ -1,0 +1,158 @@
+"""Unit tests for the COO sparse tensor."""
+
+import numpy as np
+import pytest
+
+from repro.sptensor import COOTensor
+
+
+class TestConstruction:
+    def test_basic_properties(self, small_coo):
+        assert small_coo.shape == (4, 3, 3)
+        assert small_coo.order == 3
+        assert small_coo.nnz == 7
+        assert 0 < small_coo.density < 1
+
+    def test_sorted_lexicographically(self, small_coo):
+        idx = small_coo.indices
+        flat = np.ravel_multi_index(idx.T, small_coo.shape)
+        assert np.all(np.diff(flat) > 0)
+
+    def test_duplicates_are_summed(self):
+        t = COOTensor((3, 3), [(0, 0), (0, 0), (1, 1)], [1.0, 2.0, 5.0])
+        assert t.nnz == 2
+        assert t.to_dense()[0, 0] == pytest.approx(3.0)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            COOTensor((2, 2), [(0, 0), (2, 1)], [1.0, 1.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            COOTensor((2, 2), [(0, -1)], [1.0])
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            COOTensor((2, 2), [(0, 0), (1, 1)], [1.0])
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            COOTensor((), [], [])
+
+    def test_empty_tensor(self):
+        t = COOTensor.empty((4, 5))
+        assert t.nnz == 0
+        assert t.to_dense().sum() == 0.0
+        assert t.density == 0.0
+
+    def test_explicit_zero_values_are_kept(self):
+        t = COOTensor((3, 3), [(0, 1), (1, 2)], [0.0, 2.0])
+        assert t.nnz == 2
+
+    def test_from_dense_roundtrip(self, rng):
+        dense = rng.random((5, 4, 3))
+        dense[dense < 0.7] = 0.0
+        t = COOTensor.from_dense(dense)
+        np.testing.assert_allclose(t.to_dense(), dense)
+
+    def test_from_dense_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            COOTensor.from_dense(np.float64(3.0))
+
+
+class TestConversionsAndViews:
+    def test_to_dense_shape(self, small_coo):
+        assert small_coo.to_dense().shape == small_coo.shape
+
+    def test_transpose_permutes_modes(self, small_coo):
+        t = small_coo.transpose((2, 0, 1))
+        assert t.shape == (3, 4, 3)
+        np.testing.assert_allclose(
+            t.to_dense(), np.transpose(small_coo.to_dense(), (2, 0, 1))
+        )
+
+    def test_transpose_invalid_perm(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.transpose((0, 0, 1))
+
+    def test_copy_is_independent(self, small_coo):
+        c = small_coo.copy()
+        c.values[:] = 0.0
+        assert small_coo.values.sum() != 0.0
+
+    def test_with_values_preserves_pattern(self, small_coo):
+        new = small_coo.with_values(np.arange(small_coo.nnz, dtype=float))
+        assert new.same_pattern(small_coo)
+        assert not new.allclose(small_coo)
+
+    def test_with_values_wrong_length(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.with_values(np.zeros(small_coo.nnz + 1))
+
+
+class TestReductions:
+    def test_nnz_prefix_monotone(self, random_coo3):
+        counts = [random_coo3.nnz_prefix(d) for d in range(random_coo3.order + 1)]
+        assert counts[0] == 1
+        assert counts[-1] == random_coo3.nnz
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_nnz_prefix_bounds(self, random_coo3):
+        with pytest.raises(ValueError):
+            random_coo3.nnz_prefix(-1)
+        with pytest.raises(ValueError):
+            random_coo3.nnz_prefix(random_coo3.order + 1)
+
+    def test_nnz_prefix_matches_unique_count(self, small_coo):
+        expected = len({tuple(r[:2]) for r in small_coo.indices})
+        assert small_coo.nnz_prefix(2) == expected
+
+    def test_nnz_modes_subset(self, small_coo):
+        expected = len({(r[0], r[2]) for r in small_coo.indices})
+        assert small_coo.nnz_modes([0, 2]) == expected
+
+    def test_nnz_modes_empty(self, small_coo):
+        assert small_coo.nnz_modes([]) == 1
+
+    def test_nnz_modes_invalid_mode(self, small_coo):
+        with pytest.raises(ValueError):
+            small_coo.nnz_modes([5])
+
+    def test_mode_marginal_sums_to_nnz(self, random_coo3):
+        for mode in range(random_coo3.order):
+            assert random_coo3.mode_marginal(mode).sum() == random_coo3.nnz
+
+    def test_frobenius_norm(self, small_coo):
+        expected = np.linalg.norm(small_coo.to_dense())
+        assert small_coo.frobenius_norm() == pytest.approx(expected)
+
+
+class TestArithmetic:
+    def test_add_same_pattern(self, small_coo):
+        s = small_coo + small_coo
+        np.testing.assert_allclose(s.values, 2 * small_coo.values)
+
+    def test_sub_same_pattern(self, small_coo):
+        d = small_coo - small_coo
+        assert np.all(d.values == 0.0)
+
+    def test_hadamard(self, small_coo):
+        h = small_coo.hadamard(small_coo)
+        np.testing.assert_allclose(h.values, small_coo.values**2)
+
+    def test_scale(self, small_coo):
+        np.testing.assert_allclose(small_coo.scale(-2.0).values, -2.0 * small_coo.values)
+
+    def test_mismatched_pattern_rejected(self, small_coo):
+        other = COOTensor(small_coo.shape, [(0, 0, 1)], [1.0])
+        with pytest.raises(ValueError, match="same pattern"):
+            _ = small_coo + other
+
+    def test_allclose_requires_same_pattern(self, small_coo):
+        other = COOTensor(small_coo.shape, [(0, 0, 1)], [1.0])
+        assert not small_coo.allclose(other)
+
+    def test_iteration_yields_coordinate_value_pairs(self, small_coo):
+        entries = dict(iter(small_coo))
+        assert len(entries) == small_coo.nnz
+        assert entries[(0, 0, 0)] == pytest.approx(1.0)

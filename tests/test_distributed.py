@@ -1,0 +1,225 @@
+"""Tests for the simulated distributed-memory runtime."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    AlphaBetaModel,
+    CyclicDistribution,
+    DistributedSpTTN,
+    ProcessorGrid,
+    factor_processors,
+    partition_sparse_tensor,
+    strong_scaling,
+)
+from repro.engine.reference import assert_same_result, reference_output
+from repro.kernels.mttkrp import mttkrp_kernel
+from repro.kernels.ttmc import ttmc_kernel
+from repro.kernels.tttp import tttp_kernel
+from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
+
+
+class TestProcessorGrid:
+    def test_factorization_product(self):
+        for p in (1, 2, 6, 8, 12, 64):
+            dims = factor_processors(p, 3)
+            assert int(np.prod(dims)) == p
+
+    def test_factorization_favours_large_modes(self):
+        dims = factor_processors(8, 3, mode_sizes=[1000, 10, 10])
+        assert dims[0] >= max(dims[1], dims[2])
+
+    def test_rank_coords_roundtrip(self):
+        grid = ProcessorGrid((2, 3, 2))
+        for rank in grid.iter_ranks():
+            assert grid.rank_of(grid.coords_of(rank)) == rank
+
+    def test_owner_is_cyclic(self):
+        grid = ProcessorGrid((2, 2))
+        assert grid.owner_of((0, 0)) == grid.owner_of((2, 4))
+        assert grid.owner_of((1, 0)) != grid.owner_of((0, 0))
+
+    def test_fiber_group_size(self):
+        grid = ProcessorGrid((2, 3, 2))
+        assert grid.fiber_group_size(1) == 4
+
+    def test_invalid_inputs(self):
+        grid = ProcessorGrid((2, 2))
+        with pytest.raises(ValueError):
+            grid.rank_of((2, 0))
+        with pytest.raises(ValueError):
+            grid.coords_of(5)
+        with pytest.raises(ValueError):
+            ProcessorGrid((0, 2))
+
+    def test_for_tensor(self):
+        grid = ProcessorGrid.for_tensor(12, (100, 50, 2))
+        assert grid.size == 12
+        assert grid.order == 3
+
+
+class TestPartitioning:
+    def test_partition_preserves_all_nonzeros(self, random_coo3):
+        grid = ProcessorGrid.for_tensor(6, random_coo3.shape)
+        locals_ = partition_sparse_tensor(random_coo3, grid)
+        assert sum(t.nnz for t in locals_) == random_coo3.nnz
+        total = np.zeros(random_coo3.shape)
+        for t in locals_:
+            total += t.to_dense()
+        np.testing.assert_allclose(total, random_coo3.to_dense())
+
+    def test_partition_ownership_is_cyclic(self, random_coo3):
+        grid = ProcessorGrid.for_tensor(4, random_coo3.shape)
+        locals_ = partition_sparse_tensor(random_coo3, grid)
+        for rank, local in enumerate(locals_):
+            for coords, _ in local:
+                assert grid.owner_of(coords) == rank
+
+    def test_partition_grid_mismatch(self, random_coo3):
+        with pytest.raises(ValueError):
+            partition_sparse_tensor(random_coo3, ProcessorGrid((2, 2)))
+
+    def test_local_nnz_matches_partition(self, random_coo3):
+        grid = ProcessorGrid.for_tensor(8, random_coo3.shape)
+        from repro.kernels.mttkrp import mttkrp_kernel
+
+        kernel, _ = mttkrp_kernel(
+            random_coo3, [np.ones((d, 3)) for d in random_coo3.shape], 0
+        )
+        plan = CyclicDistribution.plan(kernel, grid)
+        counts = plan.local_nnz(random_coo3)
+        locals_ = partition_sparse_tensor(random_coo3, grid)
+        np.testing.assert_array_equal(counts, [t.nnz for t in locals_])
+
+    def test_load_imbalance_at_least_one(self, random_coo3):
+        grid = ProcessorGrid.for_tensor(8, random_coo3.shape)
+        kernel, _ = mttkrp_kernel(
+            random_coo3, [np.ones((d, 3)) for d in random_coo3.shape], 0
+        )
+        plan = CyclicDistribution.plan(kernel, grid)
+        assert plan.load_imbalance(random_coo3) >= 1.0
+
+
+class TestDistributionPlan:
+    def test_dense_replication_volumes(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        grid = ProcessorGrid.for_tensor(8, tensors["T"].shape)
+        plan = CyclicDistribution.plan(kernel, grid)
+        assert len(plan.dense_placements) == len(kernel.dense_operands)
+        for placement in plan.dense_placements:
+            assert placement.local_elements > 0
+            assert placement.broadcast_elements >= 0
+
+    def test_output_reduction_dense_vs_sparse(self, mttkrp_setup, tttp_setup):
+        dense_kernel, dense_tensors = mttkrp_setup
+        sparse_kernel, sparse_tensors = tttp_setup
+        grid = ProcessorGrid.for_tensor(4, dense_tensors["T"].shape)
+        dense_plan = CyclicDistribution.plan(dense_kernel, grid)
+        sparse_plan = CyclicDistribution.plan(sparse_kernel, grid)
+        assert dense_plan.output_reduction_elements > 0
+        assert sparse_plan.output_reduction_elements == 0
+
+    def test_grid_order_mismatch_rejected(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        with pytest.raises(ValueError):
+            CyclicDistribution.plan(kernel, ProcessorGrid((2, 2)))
+
+
+class TestAlphaBetaModel:
+    def test_single_process_is_free(self):
+        model = AlphaBetaModel()
+        assert model.broadcast(1000, 1).total == 0.0
+        assert model.allreduce(1000, 1).total == 0.0
+
+    def test_costs_scale_with_volume(self):
+        model = AlphaBetaModel()
+        small = model.broadcast(1000, 8).total
+        large = model.broadcast(1000000, 8).total
+        assert large > small
+
+    def test_latency_grows_with_processes(self):
+        model = AlphaBetaModel(alpha=1e-5, beta=0.0)
+        assert model.reduce(10, 64).total > model.reduce(10, 2).total
+
+    def test_allreduce_more_expensive_than_reduce(self):
+        model = AlphaBetaModel()
+        assert model.allreduce(1 << 20, 16).total >= model.reduce(1 << 20, 16).total
+
+    def test_point_to_point(self):
+        model = AlphaBetaModel(alpha=1e-6, beta=1e-9)
+        est = model.point_to_point(1000)
+        assert est.latency_seconds == pytest.approx(1e-6)
+        assert est.bandwidth_seconds == pytest.approx(8000 * 1e-9)
+
+
+class TestDistributedExecution:
+    @pytest.mark.parametrize("n_procs", [1, 3, 8])
+    def test_mttkrp_exact(self, mttkrp_setup, n_procs):
+        kernel, tensors = mttkrp_setup
+        expected = reference_output(kernel, tensors)
+        dist = DistributedSpTTN(kernel, tensors)
+        assert_same_result(dist.execute(n_procs), expected)
+
+    def test_ttmc_exact(self, ttmc_setup):
+        kernel, tensors = ttmc_setup
+        expected = reference_output(kernel, tensors)
+        dist = DistributedSpTTN(kernel, tensors)
+        assert_same_result(dist.execute(6), expected)
+
+    def test_tttp_exact_sparse_output(self, tttp_setup):
+        kernel, tensors = tttp_setup
+        expected = reference_output(kernel, tensors)
+        dist = DistributedSpTTN(kernel, tensors)
+        assert_same_result(dist.execute(4), expected)
+
+    def test_simulation_fields(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        dist = DistributedSpTTN(kernel, tensors)
+        run = dist.simulate(8)
+        assert run.processes == 8
+        assert run.compute_seconds > 0
+        assert run.communication_seconds > 0
+        assert run.max_local_nnz <= tensors["T"].nnz
+        assert run.load_imbalance >= 1.0
+
+    def test_single_process_has_no_communication(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        dist = DistributedSpTTN(kernel, tensors)
+        run = dist.simulate(1)
+        assert run.communication_seconds == 0.0
+
+    def test_analytic_mode(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        dist = DistributedSpTTN(kernel, tensors)
+        run = dist.simulate(16, measure=False)
+        assert run.compute_seconds > 0
+
+    def test_compute_time_decreases_with_processes(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        dist = DistributedSpTTN(kernel, tensors)
+        t1 = dist.simulate(1).compute_seconds
+        t16 = dist.simulate(16).compute_seconds
+        assert t16 < t1
+
+
+class TestStrongScaling:
+    def test_scaling_result_structure(self, ttmc_setup):
+        kernel, tensors = ttmc_setup
+        result = strong_scaling(kernel, tensors, [1, 2, 4, 8], kernel_name="ttmc")
+        assert result.processes() == [1, 2, 4, 8]
+        assert len(result.times()) == 4
+        rows = result.as_rows()
+        assert rows[0]["kernel"] == "ttmc"
+        assert all(0 < row["efficiency"] <= 1.5 for row in rows)
+
+    def test_speedup_generally_increases(self, ttmc_setup):
+        kernel, tensors = ttmc_setup
+        result = strong_scaling(kernel, tensors, [1, 4, 16], kernel_name="ttmc")
+        times = result.times()
+        assert times[1] < times[0]
+        assert times[2] < times[0]
+
+    def test_empty_process_list_rejected(self, ttmc_setup):
+        kernel, tensors = ttmc_setup
+        with pytest.raises(ValueError):
+            strong_scaling(kernel, tensors, [], kernel_name="ttmc")

@@ -1,0 +1,164 @@
+"""Unit tests for the SpTTN kernel IR (parsing and validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import KernelOperand, SpTTNKernel, parse_kernel
+from repro.sptensor import CSFTensor, DenseTensor, random_dense_matrix, random_sparse_tensor
+
+
+class TestParseKernel:
+    def test_mttkrp_parsing(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        assert kernel.sparse_operand.name == "T"
+        assert kernel.sparse_operand.indices == ("i", "j", "k")
+        assert [op.name for op in kernel.dense_operands] == ["B", "C"]
+        assert kernel.output.indices == ("i", "a")
+        assert not kernel.output.is_sparse
+
+    def test_index_dimensions_from_tensors(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        T = tensors["T"]
+        assert kernel.dim("i") == T.shape[0]
+        assert kernel.dim("j") == T.shape[1]
+        assert kernel.dim("a") == 5
+
+    def test_sparse_and_dense_index_classification(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        assert kernel.sparse_indices == frozenset({"i", "j", "k"})
+        assert kernel.dense_indices == frozenset({"r", "s"})
+        assert kernel.contracted_indices == frozenset({"j", "k"})
+
+    def test_default_names(self, random_coo3):
+        kernel = parse_kernel(
+            "ijk,ja,ka->ia",
+            [random_coo3, np.ones((15, 3)), np.ones((12, 3))],
+        )
+        assert kernel.sparse_operand.name == "T"
+        assert [op.name for op in kernel.dense_operands] == ["A0", "A1"]
+
+    def test_sparse_output_detection(self, tttp_setup):
+        kernel, _ = tttp_setup
+        assert kernel.output.is_sparse
+
+    def test_dense_output_when_indices_differ(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        assert not kernel.output.is_sparse
+
+    def test_force_output_sparse_mismatch_rejected(self, random_coo3):
+        with pytest.raises(ValueError, match="sparse output"):
+            parse_kernel(
+                "ijk,ja,ka->ia",
+                [random_coo3, np.ones((15, 3)), np.ones((12, 3))],
+                output_sparse=True,
+            )
+
+    def test_missing_arrow_rejected(self, random_coo3):
+        with pytest.raises(ValueError, match="->"):
+            parse_kernel("ijk,ja,ka", [random_coo3, np.ones((15, 3)), np.ones((12, 3))])
+
+    def test_operand_count_mismatch(self, random_coo3):
+        with pytest.raises(ValueError, match="inputs"):
+            parse_kernel("ijk,ja->ia", [random_coo3])
+
+    def test_rank_mismatch_rejected(self, random_coo3):
+        with pytest.raises(ValueError, match="order"):
+            parse_kernel("ij,ja,ka->ia", [random_coo3, np.ones((15, 3)), np.ones((12, 3))])
+
+    def test_inconsistent_dimensions_rejected(self, random_coo3):
+        with pytest.raises(ValueError, match="inconsistent"):
+            parse_kernel(
+                "ijk,ja,ka->ia", [random_coo3, np.ones((15, 3)), np.ones((12, 4))]
+            )
+
+    def test_two_sparse_operands_rejected(self, random_coo3):
+        other = random_sparse_tensor((15, 3), nnz=5, seed=0)
+        with pytest.raises(ValueError, match="exactly one sparse"):
+            parse_kernel("ijk,ja,ka->ia", [random_coo3, other, np.ones((12, 3))])
+
+    def test_no_sparse_operand_rejected(self):
+        with pytest.raises(ValueError, match="exactly one sparse"):
+            parse_kernel("ij,jk->ik", [np.ones((3, 4)), np.ones((4, 5))])
+
+    def test_output_index_must_appear_in_inputs(self, random_coo3):
+        with pytest.raises(ValueError, match="does not appear"):
+            parse_kernel(
+                "ijk,ja,ka->iz", [random_coo3, np.ones((15, 3)), np.ones((12, 3))]
+            )
+
+    def test_csf_input_sets_mode_order(self, random_coo3):
+        csf = CSFTensor.from_coo(random_coo3, mode_order=(1, 0, 2))
+        kernel = parse_kernel(
+            "ijk,ja,ka->ia", [csf, np.ones((15, 3)), np.ones((12, 3))]
+        )
+        assert kernel.csf_mode_order == ("j", "i", "k")
+
+    def test_repeated_index_within_operand_rejected(self):
+        cube = random_sparse_tensor((10, 10, 10), nnz=20, seed=0)
+        with pytest.raises(ValueError, match="repeats"):
+            parse_kernel("iik,ia,ka->ia", [cube, np.ones((10, 3)), np.ones((10, 3))])
+
+
+class TestSparseStats:
+    def test_prefix_nnz_recorded_from_coo(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        T = tensors["T"]
+        assert kernel.nnz() == T.nnz
+        for depth in range(1, 4):
+            assert kernel.prefix_nnz(depth) == T.nnz_prefix(depth)
+
+    def test_prefix_nnz_zero_depth(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        assert kernel.prefix_nnz(0) == 1.0
+
+    def test_sparse_subset_nnz_prefix_exact(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        assert kernel.sparse_subset_nnz(["i", "j"]) == tensors["T"].nnz_prefix(2)
+
+    def test_sparse_subset_nnz_non_prefix_bounded(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        est = kernel.sparse_subset_nnz(["j", "k"])
+        assert 0 < est <= tensors["T"].nnz
+
+    def test_sparse_subset_nnz_dense_only(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        assert kernel.sparse_subset_nnz(["a"]) == 1.0
+
+    def test_uniform_fallback_without_stats(self):
+        operands = [
+            KernelOperand("T", ("i", "j"), True),
+            KernelOperand("A", ("j", "r"), False),
+        ]
+        output = KernelOperand("OUT", ("i", "r"), False)
+        kernel = SpTTNKernel(operands, output, {"i": 10, "j": 20, "r": 4})
+        assert kernel.prefix_nnz(1) == 10  # uniform assumption: min(nnz, dim)
+
+
+class TestKernelHelpers:
+    def test_einsum_spec_roundtrip(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        assert kernel.einsum_spec() == "ijk,jr,ks->irs"
+
+    def test_operand_lookup(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        assert kernel.operand("U").indices == ("j", "r")
+        assert kernel.operand("OUT").indices == ("i", "r", "s")
+        with pytest.raises(KeyError):
+            kernel.operand("nope")
+
+    def test_index_info(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        info = kernel.index_info("j")
+        assert info.is_sparse and info.csf_level == 1
+        info_r = kernel.index_info("r")
+        assert not info_r.is_sparse and info_r.csf_level is None
+
+    def test_sparse_order_key(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        keys = [kernel.sparse_order_key(i) for i in ("i", "j", "k", "r")]
+        assert keys == [0, 1, 2, 3]
+
+    def test_n_inputs(self, ttmc4_setup):
+        kernel, _ = ttmc4_setup
+        assert kernel.n_inputs == 4
+        assert kernel.n_dense == 3

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These complement the example-based tests with randomized coverage of:
+
+* COO construction / deduplication / densification;
+* COO <-> CSF round-trips under arbitrary mode orders;
+* executor-vs-reference agreement on randomly generated SpTTN kernels;
+* Algorithm 1 optimality against brute force on random kernels;
+* tree-separable cost evaluation consistency (Eq. 5 ground truth).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.contraction_path import rank_contraction_paths
+from repro.core.cost_model import (
+    CacheMissCost,
+    MaxBufferDimCost,
+    evaluate_cost,
+)
+from repro.core.enumeration import enumerate_loop_orders, sample_loop_orders
+from repro.core.expr import parse_kernel
+from repro.core.loop_nest import LoopNest, max_buffer_dimension
+from repro.core.optimizer import find_optimal_loop_order
+from repro.core.scheduler import SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.engine.reference import assert_same_result, reference_output
+from repro.sptensor import COOTensor, CSFTensor
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def coo_tensors(draw, min_order=2, max_order=4, max_dim=8, max_nnz=30):
+    order = draw(st.integers(min_order, max_order))
+    shape = tuple(draw(st.integers(2, max_dim)) for _ in range(order))
+    nnz = draw(st.integers(1, max_nnz))
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(0, s - 1) for s in shape]),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOTensor(shape, rows, values)
+
+
+@st.composite
+def spttn_cases(draw):
+    """A random small SpTTN kernel together with its concrete tensors.
+
+    The sparse tensor has order 2 or 3; each sparse mode receives a factor
+    matrix sharing one dense rank index with probability ~2/3, and the
+    output keeps a random subset of indices (always at least one).
+    """
+    rng_seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(rng_seed)
+    order = draw(st.integers(2, 3))
+    shape = tuple(int(rng.integers(3, 8)) for _ in range(order))
+    nnz = int(rng.integers(1, 15))
+    coords = np.stack([rng.integers(0, s, size=nnz) for s in shape], axis=1)
+    values = rng.random(nnz) + 0.1
+    T = COOTensor(shape, coords, values)
+
+    sparse_letters = "ijkl"[:order]
+    rank_letters = "rst"
+    n_factors = draw(st.integers(1, order))
+    factor_modes = sorted(
+        draw(
+            st.lists(
+                st.integers(0, order - 1),
+                min_size=n_factors,
+                max_size=n_factors,
+                unique=True,
+            )
+        )
+    )
+    shared_rank = draw(st.booleans())
+    specs = [sparse_letters]
+    tensors = [T]
+    rank_dims = {}
+    for pos, mode in enumerate(factor_modes):
+        rank = rank_letters[0] if shared_rank else rank_letters[pos % 3]
+        if rank not in rank_dims:
+            rank_dims[rank] = int(rng.integers(2, 5))
+        specs.append(sparse_letters[mode] + rank)
+        tensors.append(rng.random((shape[mode], rank_dims[rank])))
+
+    # output: indices that remain meaningful — choose among sparse indices not
+    # fully contracted plus the rank indices
+    candidate_outputs = set(rank_dims.keys()) | set(sparse_letters)
+    out = draw(
+        st.lists(
+            st.sampled_from(sorted(candidate_outputs)),
+            min_size=1,
+            max_size=min(3, len(candidate_outputs)),
+            unique=True,
+        )
+    )
+    spec = ",".join(specs) + "->" + "".join(out)
+    try:
+        kernel = parse_kernel(spec, tensors)
+    except ValueError:
+        assume(False)
+    mapping = {op.name: t for op, t in zip(kernel.operands, tensors)}
+    return kernel, mapping
+
+
+# --------------------------------------------------------------------------- #
+# COO / CSF properties
+# --------------------------------------------------------------------------- #
+class TestSparseFormatsProperties:
+    @SETTINGS
+    @given(coo_tensors())
+    def test_coo_dense_roundtrip(self, coo):
+        back = COOTensor.from_dense(coo.to_dense())
+        np.testing.assert_allclose(back.to_dense(), coo.to_dense())
+
+    @SETTINGS
+    @given(coo_tensors())
+    def test_nnz_bounded_by_inputs(self, coo):
+        assert coo.nnz <= coo.indices.shape[0] or coo.nnz == 0
+        assert coo.nnz_prefix(coo.order) == coo.nnz
+
+    @SETTINGS
+    @given(coo_tensors(), st.integers(0, 100))
+    def test_csf_roundtrip_any_mode_order(self, coo, perm_seed):
+        rng = np.random.default_rng(perm_seed)
+        mode_order = tuple(rng.permutation(coo.order))
+        csf = CSFTensor.from_coo(coo, mode_order)
+        back = csf.to_coo()
+        assert back.same_pattern(coo)
+        np.testing.assert_allclose(back.values, coo.values)
+
+    @SETTINGS
+    @given(coo_tensors())
+    def test_csf_level_counts_match_prefix_counts(self, coo):
+        csf = CSFTensor.from_coo(coo)
+        for level in range(coo.order):
+            assert csf.nnz_at_level(level) == coo.nnz_prefix(level + 1)
+
+    @SETTINGS
+    @given(coo_tensors())
+    def test_csf_find_leaf_total(self, coo):
+        csf = CSFTensor.from_coo(coo)
+        total = 0.0
+        for coords, value in coo:
+            leaf = csf.find_leaf(list(coords))
+            assert leaf is not None
+            total += csf.values[leaf]
+        assert total == pytest.approx(coo.values.sum())
+
+
+# --------------------------------------------------------------------------- #
+# Kernel-level properties
+# --------------------------------------------------------------------------- #
+class TestKernelProperties:
+    @SETTINGS
+    @given(spttn_cases())
+    def test_scheduled_execution_matches_reference(self, case):
+        kernel, tensors = case
+        expected = reference_output(kernel, tensors)
+        schedule = SpTTNScheduler(kernel).schedule()
+        executor = LoopNestExecutor(kernel, schedule.loop_nest)
+        assert_same_result(executor.execute(tensors), expected, rtol=1e-7, atol=1e-9)
+
+    @SETTINGS
+    @given(spttn_cases(), st.integers(0, 1000))
+    def test_random_loop_order_matches_reference(self, case, seed):
+        kernel, tensors = case
+        expected = reference_output(kernel, tensors)
+        path = rank_contraction_paths(kernel)[0][0]
+        orders = sample_loop_orders(kernel, path, fraction=0.05, seed=seed, max_samples=2)
+        for order in orders:
+            executor = LoopNestExecutor(kernel, LoopNest(path, order))
+            assert_same_result(executor.execute(tensors), expected, rtol=1e-7, atol=1e-9)
+
+    @SETTINGS
+    @given(spttn_cases())
+    def test_dp_matches_bruteforce_buffer_dim(self, case):
+        kernel, _ = case
+        path = rank_contraction_paths(kernel)[0][0]
+        cost = MaxBufferDimCost(kernel)
+        result = find_optimal_loop_order(kernel, path, cost)
+        brute = min(
+            evaluate_cost(kernel, path, order, cost)
+            for order in enumerate_loop_orders(kernel, path)
+        )
+        assert result.cost == brute
+
+    @SETTINGS
+    @given(spttn_cases())
+    def test_dp_matches_bruteforce_cache_cost(self, case):
+        kernel, _ = case
+        path = rank_contraction_paths(kernel)[0][0]
+        cost = CacheMissCost(kernel)
+        result = find_optimal_loop_order(kernel, path, cost)
+        brute = min(
+            evaluate_cost(kernel, path, order, cost)
+            for order in enumerate_loop_orders(kernel, path)
+        )
+        assert result.cost == pytest.approx(brute)
+
+    @SETTINGS
+    @given(spttn_cases())
+    def test_buffer_dim_cost_equals_ground_truth(self, case):
+        kernel, _ = case
+        path = rank_contraction_paths(kernel)[0][0]
+        cost = MaxBufferDimCost(kernel)
+        for order in sample_loop_orders(kernel, path, fraction=0.2, seed=0, max_samples=5):
+            assert evaluate_cost(kernel, path, order, cost) == max_buffer_dimension(
+                path, order
+            )
+
+    @SETTINGS
+    @given(spttn_cases(), st.integers(1, 8))
+    def test_distributed_execution_exact(self, case, n_procs):
+        from repro.distributed import DistributedSpTTN
+
+        kernel, tensors = case
+        expected = reference_output(kernel, tensors)
+        dist = DistributedSpTTN(kernel, tensors)
+        assert_same_result(dist.execute(n_procs), expected, rtol=1e-7, atol=1e-9)

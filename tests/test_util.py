@@ -1,0 +1,135 @@
+"""Unit tests for the shared utilities (validation, timing, counters)."""
+
+import numpy as np
+import pytest
+
+from repro.util.counters import OpCounter
+from repro.util.timing import Timer, timed
+from repro.util.validation import (
+    as_index_array,
+    check_axis,
+    check_dtype_real,
+    check_positive_int,
+    check_shape,
+    require,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "never raised")
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        assert check_positive_int(np.int64(5), "x") == 5
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_check_shape(self):
+        assert check_shape([3, 4]) == (3, 4)
+        with pytest.raises(ValueError):
+            check_shape([])
+        with pytest.raises(ValueError):
+            check_shape([3, 0])
+        with pytest.raises(TypeError):
+            check_shape(5)
+
+    def test_check_axis(self):
+        assert check_axis(1, 3) == 1
+        assert check_axis(-1, 3) == 2
+        with pytest.raises(ValueError):
+            check_axis(3, 3)
+        with pytest.raises(TypeError):
+            check_axis(1.5, 3)
+
+    def test_check_dtype_real(self):
+        assert check_dtype_real(np.float64).kind == "f"
+        assert check_dtype_real("int32").kind == "i"
+        with pytest.raises(TypeError):
+            check_dtype_real(np.complex128)
+
+    def test_as_index_array(self):
+        arr = as_index_array([[0, 1], [2, 3]], 2)
+        assert arr.shape == (2, 2) and arr.dtype == np.int64
+        arr1 = as_index_array([0, 1, 2], 1)
+        assert arr1.shape == (3, 1)
+        with pytest.raises(ValueError):
+            as_index_array([[0, 1]], 3)
+        with pytest.raises(ValueError):
+            as_index_array([[0, -1]], 2)
+
+
+class TestTimer:
+    def test_sections_accumulate(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        with t.section("a"):
+            pass
+        with t.section("b"):
+            pass
+        assert t.counts["a"] == 2 and t.counts["b"] == 1
+        assert t.totals["a"] >= 0.0
+        assert t.mean("a") == pytest.approx(t.totals["a"] / 2)
+        assert t.mean("missing") == 0.0
+        assert "a" in t.summary()
+
+    def test_reset(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        t.reset()
+        assert not t.totals and not t.counts
+
+    def test_timed(self):
+        calls = []
+
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        best, result = timed(fn, 21, repeat=3)
+        assert result == 42
+        assert len(calls) == 3
+        assert best >= 0.0
+        with pytest.raises(ValueError):
+            timed(fn, 1, repeat=0)
+
+
+class TestOpCounter:
+    def test_accumulation(self):
+        c = OpCounter()
+        c.add_flops(10)
+        c.add_bytes(64)
+        c.add_reset()
+        c.add_call("gemv")
+        c.add_call("gemv")
+        assert c.flops == 10
+        assert c.bytes_moved == 64
+        assert c.buffer_resets == 1
+        assert c.kernel_calls == {"gemv": 2}
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add_flops(1)
+        a.add_call("axpy")
+        b.add_flops(2)
+        b.add_call("axpy")
+        b.add_call("ger")
+        a.merge(b)
+        assert a.flops == 3
+        assert a.kernel_calls == {"axpy": 2, "ger": 1}
+
+    def test_reset_and_as_dict(self):
+        c = OpCounter()
+        c.add_flops(5)
+        c.reset()
+        assert c.flops == 0
+        d = c.as_dict()
+        assert set(d) == {"flops", "bytes_moved", "buffer_resets", "kernel_calls"}
