@@ -77,3 +77,28 @@ def test_fig10_random_loop_orders(benchmark):
     assert picked.seconds <= 4.0 * times[0]
     assert picked.seconds <= median
     assert picked.seconds < times[-1]
+
+
+@pytest.mark.smoke
+def test_fig10_smoke(benchmark):
+    """Tiny CI case: a few measured loop orders still rank the cost-model
+    pick ahead of the slowest sampled order."""
+    tensor = random_sparse_tensor((16, 16, 16), nnz=400, seed=7)
+    factors = [
+        random_dense_matrix(d, 8, seed=30 + i) for i, d in enumerate(tensor.shape)
+    ]
+    kernel, tensors = all_mode_ttmc_kernel(tensor, factors)
+    schedule = SpTTNScheduler(kernel, buffer_dim_bound=2).schedule()
+
+    def runner(nest: LoopNest):
+        return LoopNestExecutor(kernel, nest).execute(tensors)
+
+    tuner = Autotuner(kernel, runner, repeats=1)
+
+    def sweep():
+        result = tuner.tune_path(schedule.path, fraction=0.25, seed=0, max_candidates=6)
+        picked = tuner.measure(schedule.loop_nest)
+        return result, picked
+
+    result, picked = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert picked.seconds < result.times()[-1] * 4.0

@@ -60,3 +60,15 @@ def test_fig7_mttkrp_single_thread(benchmark, dataset, framework):
         lambda: baseline.run(kernel, tensors), rounds=3, iterations=1, warmup_rounds=1
     )
     benchmark.extra_info["flops"] = result.counter.flops
+
+
+@pytest.mark.smoke
+def test_fig7_smoke(benchmark):
+    """Tiny CI case: the paper's system on the smallest fig7 preset."""
+    kernel, tensors = _setup("nips")
+    baseline = SpTTNCyclopsBaseline()
+    baseline.schedule_for(kernel)
+    result = benchmark.pedantic(
+        lambda: baseline.run(kernel, tensors), rounds=1, iterations=1
+    )
+    assert result.counter.flops > 0

@@ -60,6 +60,7 @@ def _run_scaling(benchmark, kernel, tensors, name):
     return result
 
 
+@pytest.mark.smoke
 def test_fig8a_ttmc_strong_scaling(benchmark):
     tensor = _tensor3(seed=1)
     factors = _factors(tensor, rank=8, seed=1)

@@ -49,3 +49,15 @@ def test_fig9_allmode_ttmc_buffer_bound(benchmark, dataset, bound):
         lambda: executor.execute(tensors), rounds=2, iterations=1, warmup_rounds=1
     )
     assert schedule.max_buffer_dimension() <= bound
+
+
+@pytest.mark.smoke
+def test_fig9_smoke(benchmark):
+    """Tiny CI case: one bound-2 all-mode TTMc execution."""
+    kernel, tensors, schedule = _setup("nell-2", bound=2)
+    executor = LoopNestExecutor(kernel, schedule.loop_nest)
+    out = benchmark.pedantic(
+        lambda: executor.execute(tensors), rounds=1, iterations=1
+    )
+    assert schedule.max_buffer_dimension() <= 2
+    assert out.shape == (RANK, RANK, RANK)

@@ -32,6 +32,7 @@ def _tensor():
     return power_law_sparse_tensor((40, 36, 32), nnz=3000, seed=11, exponent=1.3)
 
 
+@pytest.mark.smoke
 def test_opcount_mttkrp_unfactorized_vs_fused(benchmark):
     tensor = _tensor()
     factors = [random_dense_matrix(d, RANK, seed=i) for i, d in enumerate(tensor.shape)]

@@ -14,7 +14,6 @@ large (order-6 TTTc).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.contraction_path import rank_contraction_paths
@@ -25,6 +24,8 @@ from repro.kernels.mttkrp import mttkrp_kernel
 from repro.kernels.ttmc import ttmc_kernel
 from repro.kernels.tttc import tt_core_shapes, tttc_kernel
 from repro.sptensor import DenseTensor, random_dense_matrix, random_sparse_tensor
+
+from _workloads import bench_rng
 
 
 def _kernel_for(name: str):
@@ -37,14 +38,14 @@ def _kernel_for(name: str):
     if name == "tttc-order5":
         t = random_sparse_tensor((10, 10, 10, 10, 10), nnz=400, seed=2)
         cores = [
-            DenseTensor(np.random.default_rng(i).random(s))
+            DenseTensor(bench_rng(i).random(s))
             for i, s in enumerate(tt_core_shapes(t.shape, 4))
         ]
         return tttc_kernel(t, cores)[0]
     if name == "tttc-order6":
         t = random_sparse_tensor((8, 8, 8, 8, 8, 8), nnz=400, seed=3)
         cores = [
-            DenseTensor(np.random.default_rng(i).random(s))
+            DenseTensor(bench_rng(i).random(s))
             for i, s in enumerate(tt_core_shapes(t.shape, 4))
         ]
         return tttc_kernel(t, cores)[0]
@@ -53,7 +54,12 @@ def _kernel_for(name: str):
 
 @pytest.mark.parametrize(
     "kernel_name",
-    ["mttkrp-order3", "ttmc-order4", "tttc-order5", "tttc-order6"],
+    [
+        pytest.param("mttkrp-order3", marks=pytest.mark.smoke),
+        "ttmc-order4",
+        "tttc-order5",
+        "tttc-order6",
+    ],
 )
 def test_search_cost_vs_enumeration_space(benchmark, kernel_name):
     kernel = _kernel_for(kernel_name)

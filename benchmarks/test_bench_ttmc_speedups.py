@@ -86,3 +86,15 @@ def test_ttmc_order4(benchmark, framework):
         lambda: baseline.run(kernel, tensors), rounds=2, iterations=1, warmup_rounds=1
     )
     benchmark.extra_info["flops"] = result.counter.flops
+
+
+@pytest.mark.smoke
+def test_ttmc_smoke(benchmark):
+    """Tiny CI case: the paper's system on the order-3 TTMc workload."""
+    kernel, tensors = _order3_setup("nell-2")
+    baseline = SpTTNCyclopsBaseline()
+    baseline.schedule_for(kernel)
+    result = benchmark.pedantic(
+        lambda: baseline.run(kernel, tensors), rounds=1, iterations=1
+    )
+    assert result.counter.flops > 0

@@ -51,6 +51,7 @@ def test_tttc_order6_vs_unfactorized(benchmark, framework):
     benchmark.extra_info["flops"] = result.counter.flops
 
 
+@pytest.mark.smoke
 def test_tttc_strong_scaling(benchmark):
     kernel, tensors = _setup(order=6, dim=12, nnz=900, seed=3)
     result = benchmark.pedantic(

@@ -35,8 +35,18 @@ from repro.core import (
     SpTTNScheduler,
     Schedule,
     Autotuner,
+    ExecutionRunner,
+    SweepResult,
+    sweep_loop_nests,
+    sweep_loop_orders,
 )
-from repro.engine import LoopNestExecutor, execute_kernel
+from repro.engine import (
+    LoopNestExecutor,
+    PlanCache,
+    cached_schedule,
+    default_plan_cache,
+    execute_kernel,
+)
 from repro.sptensor import (
     COOTensor,
     CSFTensor,
@@ -73,7 +83,14 @@ __all__ = [
     "SpTTNScheduler",
     "Schedule",
     "Autotuner",
+    "ExecutionRunner",
+    "SweepResult",
+    "sweep_loop_nests",
+    "sweep_loop_orders",
     "LoopNestExecutor",
+    "PlanCache",
+    "cached_schedule",
+    "default_plan_cache",
     "execute_kernel",
     "contract",
     "COOTensor",

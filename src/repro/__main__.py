@@ -12,6 +12,13 @@ when no file is given)::
     python -m repro run --spec "ijk,jr,ks->irs" --shape 200,150,120 \
         --nnz 20000 --rank 16 --compare taco
 
+Sweep every CSF-consistent loop order of the scheduler's contraction path
+through the cost model (optionally across processes) and measure the best
+candidates::
+
+    python -m repro tune --spec "ijk,ja,ka->ia" --shape 60,50,40 \
+        --nnz 2000 --rank 8 --workers 4 --measure
+
 List the built-in dataset presets::
 
     python -m repro datasets
@@ -26,9 +33,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.autotune import Autotuner
+from repro.core.cost_model import ExecutionCost
 from repro.core.expr import parse_kernel
 from repro.core.scheduler import SpTTNScheduler
-from repro.engine.executor import LoopNestExecutor
+from repro.core.search import ExecutionRunner, resolve_workers, sweep_loop_orders
 from repro.frameworks import (
     CTFLikeBaseline,
     SparseLNRLikeBaseline,
@@ -47,7 +56,7 @@ _BASELINES = {
 }
 
 
-def _load_sparse(args) -> "repro.COOTensor":
+def _load_sparse(args):
     if args.tns:
         tensor = read_tns(args.tns)
         print(f"loaded {args.tns}: shape={tensor.shape}, nnz={tensor.nnz}")
@@ -125,6 +134,71 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_tune(args) -> int:
+    tensor = _load_sparse(args)
+    operands = _build_operands(args.spec, tensor, args.rank, args.seed)
+    kernel = parse_kernel(args.spec, operands)
+
+    scheduler = SpTTNScheduler(kernel, buffer_dim_bound=args.buffer_bound)
+    schedule = scheduler.schedule()
+    workers = resolve_workers(args.workers)
+
+    start = time.perf_counter()
+    sweep = sweep_loop_orders(
+        kernel,
+        schedule.path,
+        # score under the same buffer bound the scheduler used, so the
+        # printed rank of its pick is an apples-to-apples comparison
+        cost=ExecutionCost(kernel, buffer_dim_bound=args.buffer_bound),
+        workers=args.workers,
+        limit=args.max_candidates,
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"\ncost-model sweep: {len(sweep.entries)} loop orders on the "
+        f"scheduler's contraction path, {workers} worker(s), "
+        f"{elapsed * 1e3:.1f} ms"
+    )
+
+    ranked = sweep.sorted_entries()
+    print(f"\n{'rank':>5s} {'cost':>14s}  loop orders")
+    for rank, entry in enumerate(ranked[: args.top]):
+        orders = "; ".join(",".join(o) for o in entry.nest.order)
+        print(f"{rank:5d} {entry.value:14.4e}  {orders}")
+
+    model_rank = sweep.rank_of(schedule.loop_nest)
+    print(
+        f"\nscheduler's pick ranks #{model_rank} of {len(sweep.entries)} "
+        f"in the exhaustive cost sweep"
+        if model_rank is not None
+        else "\nscheduler's pick lies outside the swept candidate set"
+    )
+
+    if args.measure:
+        mapping = {op.name: t for op, t in zip(kernel.operands, operands)}
+        runner = ExecutionRunner(kernel, mapping)
+        tuner = Autotuner(kernel, runner, repeats=args.repeats)
+        candidates = [e.nest for e in ranked[: args.measure_candidates]]
+        start = time.perf_counter()
+        result = tuner.tune(candidates, workers=args.workers)
+        elapsed = time.perf_counter() - start
+        print(
+            f"\nmeasured {len(result.entries)} candidates "
+            f"({args.repeats} repeat(s) each) in {elapsed * 1e3:.1f} ms"
+        )
+        print(f"\n{'rank':>5s} {'time [ms]':>12s}  loop orders")
+        for rank, entry in enumerate(result.entries[: args.top]):
+            orders = "; ".join(",".join(o) for o in entry.loop_nest.order)
+            print(f"{rank:5d} {entry.seconds * 1e3:12.3f}  {orders}")
+        measured_rank = result.rank_of(schedule.loop_nest)
+        if measured_rank is not None:
+            print(
+                f"\nscheduler's pick ranks #{measured_rank} of "
+                f"{len(result.entries)} by measured time"
+            )
+    return 0
+
+
 def cmd_datasets(args) -> int:
     print(f"{'name':>12s} {'order':>6s} {'shape':>30s} {'nnz':>14s}")
     for name, spec in sorted(dataset_presets().items()):
@@ -166,6 +240,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="baselines to compare against")
     p_run.add_argument("--repeats", type=int, default=3)
     p_run.set_defaults(func=cmd_run)
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="sweep the loop-order space (cost model, optionally measured)",
+    )
+    add_common(p_tune)
+    p_tune.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel sweep workers (-1 = one per CPU, default serial)",
+    )
+    p_tune.add_argument(
+        "--max-candidates", type=int, default=None,
+        help="cap on the number of enumerated loop orders",
+    )
+    p_tune.add_argument(
+        "--top", type=int, default=10, help="rows to print per ranking"
+    )
+    p_tune.add_argument(
+        "--measure", action="store_true",
+        help="also execute and time the best candidates",
+    )
+    p_tune.add_argument(
+        "--measure-candidates", type=int, default=16,
+        help="how many of the best-by-cost candidates to measure",
+    )
+    p_tune.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions per measured candidate")
+    p_tune.set_defaults(func=cmd_tune)
 
     p_data = sub.add_parser("datasets", help="list the FROSTT dataset presets")
     p_data.set_defaults(func=cmd_datasets)

@@ -16,12 +16,12 @@ them through the library's scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.core.scheduler import Schedule, SpTTNScheduler
 from repro.engine.executor import LoopNestExecutor
+from repro.engine.plan_cache import cached_schedule
 from repro.kernels.mttkrp import mttkrp_kernel
 from repro.kernels.tttp import tttp_kernel
 from repro.sptensor.coo import COOTensor
@@ -86,14 +86,18 @@ def cp_completion(
     # the model at the observed entries.
     pattern = coo.with_values(np.ones(coo.nnz))
 
+    # One executor per kernel, schedules from the process-wide cache: every
+    # optimization step reuses the compiled plans instead of re-planning.
     tttp_k, _ = tttp_kernel(pattern, [np.ones((d, rank)) for d in coo.shape])
-    tttp_schedule = SpTTNScheduler(tttp_k).schedule()
-    mttkrp_schedules: Dict[int, Schedule] = {}
+    tttp_executor = LoopNestExecutor(tttp_k, cached_schedule(tttp_k).loop_nest)
     mttkrp_kernels = {}
+    mttkrp_executors: Dict[int, LoopNestExecutor] = {}
     for mode in range(order):
         kernel, _ = mttkrp_kernel(coo, [np.ones((d, rank)) for d in coo.shape], mode)
-        mttkrp_schedules[mode] = SpTTNScheduler(kernel).schedule()
         mttkrp_kernels[mode] = kernel
+        mttkrp_executors[mode] = LoopNestExecutor(
+            kernel, cached_schedule(kernel).loop_nest
+        )
 
     counts = [np.maximum(coo.mode_marginal(mode), 1) for mode in range(order)]
 
@@ -105,8 +109,7 @@ def cp_completion(
         mapping = {tttp_k.sparse_operand.name: pattern}
         for op, factor in zip(tttp_k.dense_operands, factors):
             mapping[op.name] = factor
-        executor = LoopNestExecutor(tttp_k, tttp_schedule.loop_nest)
-        model_at_observed = executor.execute(mapping)
+        model_at_observed = tttp_executor.execute(mapping)
         assert isinstance(model_at_observed, COOTensor)
 
         residual_values = model_at_observed.values - coo.values
@@ -124,8 +127,7 @@ def cp_completion(
             mapping = {kernel.sparse_operand.name: residual}
             for op, factor in zip(kernel.dense_operands, other):
                 mapping[op.name] = factor
-            executor = LoopNestExecutor(kernel, mttkrp_schedules[mode].loop_nest)
-            grad = np.asarray(executor.execute(mapping))
+            grad = np.asarray(mttkrp_executors[mode].execute(mapping))
             grad += regularization * factors[mode]
             factors[mode] -= learning_rate * grad / counts[mode][:, None]
 

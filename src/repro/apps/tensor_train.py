@@ -19,8 +19,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.scheduler import Schedule, SpTTNScheduler
 from repro.engine.executor import LoopNestExecutor
+from repro.engine.plan_cache import cached_schedule
 from repro.kernels.tttc import tt_core_shapes, tttc_kernel
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.csf import CSFTensor
@@ -93,14 +93,16 @@ def tensor_train_decomposition(
         for shape in tt_core_shapes(coo.shape, rank)
     ]
 
-    # Schedule one TTTc kernel per removed core, reused across iterations.
-    schedules: Dict[int, Schedule] = {}
+    # Schedule one TTTc kernel per removed core (cached process-wide) and
+    # keep one executor per kernel, reusing compiled plans across iterations.
     kernels = {}
+    executors: Dict[int, LoopNestExecutor] = {}
     for removed in range(order):
         placeholder = [np.ones(s) for s in tt_core_shapes(coo.shape, rank)]
         kernel, _ = tttc_kernel(coo, placeholder, removed_core=removed)
-        schedules[removed] = SpTTNScheduler(kernel, max_paths=2000).schedule()
+        schedule = cached_schedule(kernel, max_paths=2000)
         kernels[removed] = kernel
+        executors[removed] = LoopNestExecutor(kernel, schedule.loop_nest)
 
     result = TTDecomposition(cores=cores)
     rmse_history: List[float] = []
@@ -123,8 +125,7 @@ def tensor_train_decomposition(
             mapping = {kernel.sparse_operand.name: residual}
             for op, core in zip(kernel.dense_operands, other):
                 mapping[op.name] = core
-            executor = LoopNestExecutor(kernel, schedules[removed].loop_nest)
-            grad = np.asarray(executor.execute(mapping))
+            grad = np.asarray(executors[removed].execute(mapping))
             # The TTTc output axes follow the kernel's output index order,
             # which matches the removed core's own axis order by construction.
             grad = grad.reshape(cores[removed].shape)

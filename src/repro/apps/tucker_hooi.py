@@ -13,8 +13,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.scheduler import Schedule, SpTTNScheduler
 from repro.engine.executor import LoopNestExecutor
+from repro.engine.plan_cache import cached_schedule
 from repro.kernels.ttmc import all_mode_ttmc_kernel, ttmc_kernel
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.csf import CSFTensor
@@ -97,18 +97,22 @@ def tucker_hooi(
 
     norm_t = coo.frobenius_norm()
 
-    # Schedule the mode-n TTMc kernels and the all-mode core kernel once.
-    schedules: Dict[int, Schedule] = {}
+    # Schedule the mode-n TTMc kernels and the all-mode core kernel once
+    # (cached process-wide) and keep one executor per kernel so every sweep
+    # reuses the compiled plan.
     kernels = {}
+    executors: Dict[int, LoopNestExecutor] = {}
     for mode in range(order):
         placeholder = [np.ones((coo.shape[n], ranks[n])) for n in range(order)]
         kernel, _ = ttmc_kernel(coo, placeholder, mode)
-        schedules[mode] = SpTTNScheduler(kernel).schedule()
         kernels[mode] = kernel
+        executors[mode] = LoopNestExecutor(kernel, cached_schedule(kernel).loop_nest)
     core_kernel, _ = all_mode_ttmc_kernel(
         coo, [np.ones((coo.shape[n], ranks[n])) for n in range(order)]
     )
-    core_schedule = SpTTNScheduler(core_kernel).schedule()
+    core_executor = LoopNestExecutor(
+        core_kernel, cached_schedule(core_kernel).loop_nest
+    )
 
     fits: List[float] = []
     previous_fit = -np.inf
@@ -121,16 +125,14 @@ def tucker_hooi(
             mapping = {kernel.sparse_operand.name: coo}
             for op, factor in zip(kernel.dense_operands, other):
                 mapping[op.name] = factor
-            executor = LoopNestExecutor(kernel, schedules[mode].loop_nest)
-            y = np.asarray(executor.execute(mapping))
+            y = np.asarray(executors[mode].execute(mapping))
             unfolded = y.reshape(coo.shape[mode], -1)
             factors[mode] = _leading_singular_vectors(unfolded, ranks[mode])
 
         mapping = {core_kernel.sparse_operand.name: coo}
         for op, factor in zip(core_kernel.dense_operands, factors):
             mapping[op.name] = factor
-        executor = LoopNestExecutor(core_kernel, core_schedule.loop_nest)
-        core = np.asarray(executor.execute(mapping))
+        core = np.asarray(core_executor.execute(mapping))
 
         # With orthonormal factors, ||T - model||^2 = ||T||^2 - ||core||^2.
         core_norm = float(np.linalg.norm(core))

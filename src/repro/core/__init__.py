@@ -21,6 +21,9 @@ This subpackage contains the paper's primary contribution:
   apply constraints; Section 5).
 * :mod:`repro.core.autotune` — measured-time autotuning over enumerated
   loop nests (used for the Figure 10 experiment).
+* :mod:`repro.core.search` — deterministic parallel sweeps over the
+  enumeration space (cost-model scoring and measured autotuning fanned
+  across ``multiprocessing`` workers).
 """
 
 from repro.core.expr import IndexInfo, KernelOperand, SpTTNKernel, parse_kernel
@@ -60,6 +63,18 @@ from repro.core.enumeration import (
 )
 from repro.core.scheduler import Schedule, SpTTNScheduler
 from repro.core.autotune import Autotuner, AutotuneResult
+from repro.core.search import (
+    CostModelEvaluator,
+    ExecutionRunner,
+    SweepEntry,
+    SweepResult,
+    best_loop_nest,
+    measure_loop_nests,
+    parallel_map,
+    resolve_workers,
+    sweep_loop_nests,
+    sweep_loop_orders,
+)
 
 __all__ = [
     "IndexInfo",
@@ -97,4 +112,14 @@ __all__ = [
     "SpTTNScheduler",
     "Autotuner",
     "AutotuneResult",
+    "CostModelEvaluator",
+    "ExecutionRunner",
+    "SweepEntry",
+    "SweepResult",
+    "best_loop_nest",
+    "measure_loop_nests",
+    "parallel_map",
+    "resolve_workers",
+    "sweep_loop_nests",
+    "sweep_loop_orders",
 ]

@@ -6,11 +6,18 @@ and timed.  The :class:`Autotuner` does exactly that over a (possibly
 sampled) set of loop nests, and is what the Figure 10 reproduction uses to
 place the cost-model-picked loop order within the measured distribution of
 random loop orders.
+
+Measurement is delegated to :mod:`repro.core.search`, which can fan the
+sweep across ``multiprocessing`` workers (pass ``workers``) and ranks
+candidates with the deterministic ``(seconds, enumeration index)``
+tie-break, so a parallel sweep with a deterministic runner returns exactly
+the serial sweep's argmin.  Parallel measurement requires a picklable
+runner, e.g. :class:`repro.core.search.ExecutionRunner`; closure runners
+fall back to the (identical) serial path.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -18,6 +25,7 @@ from repro.core.contraction_path import ContractionPath
 from repro.core.enumeration import enumerate_loop_orders, sample_loop_orders
 from repro.core.expr import SpTTNKernel
 from repro.core.loop_nest import LoopNest, LoopOrder
+from repro.core.search import TimedRunner, measure_loop_nests, nests_equal
 
 
 @dataclass
@@ -45,11 +53,9 @@ class AutotuneResult:
         return [e.seconds for e in self.entries]
 
     def rank_of(self, loop_nest: LoopNest) -> Optional[int]:
-        """Position of a loop nest (by loop order equality) in the ranking."""
+        """Position of a loop nest (by structural equality) in the ranking."""
         for rank, entry in enumerate(self.entries):
-            if entry.loop_nest.order == loop_nest.order and (
-                entry.loop_nest.path.terms == loop_nest.path.terms
-            ):
+            if nests_equal(entry.loop_nest, loop_nest):
                 return rank
         return None
 
@@ -67,6 +73,10 @@ class Autotuner:
         :class:`repro.engine.executor.LoopNestExecutor`).
     repeats:
         Number of timed repetitions per candidate; the minimum is recorded.
+    workers:
+        Default worker count for :meth:`tune` (``None``/``0`` → serial,
+        ``-1`` → one per CPU).  Parallel measurement needs a picklable
+        runner; otherwise the sweep silently runs serially.
     """
 
     def __init__(
@@ -74,33 +84,47 @@ class Autotuner:
         kernel: SpTTNKernel,
         runner: Callable[[LoopNest], object],
         repeats: int = 1,
+        workers: Optional[int] = None,
     ) -> None:
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
         self.kernel = kernel
         self.runner = runner
         self.repeats = int(repeats)
+        self.workers = workers
+        # One timed wrapper for the tuner's lifetime, so the per-process
+        # warmup execution happens once, not once per measure()/tune() call.
+        self._timed = TimedRunner(runner, self.repeats)
 
     def measure(self, loop_nest: LoopNest) -> AutotuneEntry:
-        best = float("inf")
-        for _ in range(self.repeats):
-            start = time.perf_counter()
-            self.runner(loop_nest)
-            elapsed = time.perf_counter() - start
-            best = min(best, elapsed)
+        seconds = self._timed(loop_nest)
         return AutotuneEntry(
             loop_nest=loop_nest,
-            seconds=best,
+            seconds=seconds,
             max_buffer_dimension=loop_nest.max_buffer_dimension(),
         )
 
     def tune(
         self,
         candidates: Sequence[LoopNest],
+        workers: Optional[int] = None,
     ) -> AutotuneResult:
-        """Measure an explicit list of candidates."""
-        entries = [self.measure(nest) for nest in candidates]
-        entries.sort(key=lambda e: e.seconds)
+        """Measure an explicit list of candidates (optionally in parallel).
+
+        Entries are sorted fastest-first with ties broken by candidate
+        order, so the ranking is deterministic for deterministic timings
+        regardless of the worker count.
+        """
+        workers = self.workers if workers is None else workers
+        sweep = measure_loop_nests(candidates, self._timed, workers=workers)
+        entries = [
+            AutotuneEntry(
+                loop_nest=entry.nest,
+                seconds=entry.value,
+                max_buffer_dimension=entry.nest.max_buffer_dimension(),
+            )
+            for entry in sweep.sorted_entries()
+        ]
         return AutotuneResult(entries)
 
     def tune_path(
@@ -109,6 +133,7 @@ class Autotuner:
         fraction: float = 1.0,
         seed: Optional[int] = None,
         max_candidates: Optional[int] = None,
+        workers: Optional[int] = None,
     ) -> AutotuneResult:
         """Measure the loop orders of one contraction path.
 
@@ -127,4 +152,6 @@ class Autotuner:
                 seed=seed,
                 max_samples=max_candidates,
             )
-        return self.tune([LoopNest(path, order) for order in orders])
+        return self.tune(
+            [LoopNest(path, order) for order in orders], workers=workers
+        )

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.contraction_path import ContractionPath, ContractionTerm
+from repro.core.contraction_path import ContractionPath
 from repro.core.expr import SpTTNKernel
 from repro.util.validation import require
 

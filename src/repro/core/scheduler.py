@@ -18,7 +18,7 @@ The resulting :class:`Schedule` is what the execution engine consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.contraction_path import (
     ContractionPath,

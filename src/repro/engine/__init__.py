@@ -9,6 +9,9 @@
   operation counters.
 * :mod:`repro.engine.buffers` — intermediate-buffer allocation and reset
   bookkeeping.
+* :mod:`repro.engine.plan_cache` — compiled (array-independent) execution
+  plans, the process-wide plan cache, and schedule caching, so repeated
+  executions of one structure pay for planning and search once.
 * :mod:`repro.engine.reference` — dense ``numpy.einsum`` reference used to
   validate every executor and baseline.
 """
@@ -16,6 +19,15 @@
 from repro.engine.blas import classify_call, vectorized_contract
 from repro.engine.buffers import BufferSet
 from repro.engine.executor import LoopNestExecutor, execute_kernel
+from repro.engine.plan_cache import (
+    CompiledPlan,
+    PlanCache,
+    cached_schedule,
+    clear_caches,
+    default_plan_cache,
+    default_schedule_cache,
+    plan_key,
+)
 from repro.engine.reference import dense_reference, reference_output
 
 __all__ = [
@@ -24,6 +36,13 @@ __all__ = [
     "BufferSet",
     "LoopNestExecutor",
     "execute_kernel",
+    "CompiledPlan",
+    "PlanCache",
+    "cached_schedule",
+    "clear_caches",
+    "default_plan_cache",
+    "default_schedule_cache",
+    "plan_key",
     "dense_reference",
     "reference_output",
 ]

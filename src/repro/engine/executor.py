@@ -4,15 +4,23 @@
 plus per-term loop orders — over a CSF sparse tensor and dense factor
 operands.  Following Algorithm 2 it operates in two stages:
 
-*Preprocessing* (once per ``execute`` call): the fused loop-nest structure is
-walked symbolically.  Consecutive terms sharing the current loop index are
-grouped under one loop (fusion), buffer-reset points are placed where a
-producer separates from its consumer (the ``X = 0`` lines of Listings 3/4),
-and every maximal single-term region whose remaining indices are dense — or
-are led by the final CSF level (a stored fiber) — is bound to a specialized
-vectorized NumPy kernel (the reproduction's BLAS offload, Figure 6).  The
-result is a cached *plan* of steps per loop-nest site, so the execution hot
-loop performs no per-iteration analysis.
+*Preprocessing* (once per loop-nest *structure*, process-wide): the fused
+loop-nest structure is walked symbolically.  Consecutive terms sharing the
+current loop index are grouped under one loop (fusion), buffer-reset points
+are placed where a producer separates from its consumer (the ``X = 0`` lines
+of Listings 3/4), and every maximal single-term region whose remaining
+indices are dense — or are led by the final CSF level (a stored fiber) — is
+bound to a specialized vectorized NumPy kernel (the reproduction's BLAS
+offload, Figure 6).  The result is an array-independent
+:class:`~repro.engine.plan_cache.CompiledPlan` of symbolic steps per
+loop-nest site, cached in the process-wide
+:class:`~repro.engine.plan_cache.PlanCache` keyed by the full structural
+identity of the execution (kernel signature, contraction path, loop orders,
+CSF mode order, operand shapes/dtypes).  Each ``execute()`` call only
+*binds* the plan to its freshly allocated output/buffer arrays — a cheap
+substitution pass — so repeated executions of the same structure (ALS/HOOI
+sweeps, autotuning repeats) perform zero per-call symbolic analysis, and the
+execution hot loop performs no per-iteration analysis.
 
 *Execution*: the plan is interpreted; sparse loops walk the CSF tree level
 by level so only stored fibers are visited, dense loops iterate full index
@@ -31,11 +39,19 @@ import numpy as np
 from repro.core.contraction_path import ContractionPath
 from repro.core.expr import SpTTNKernel, parse_kernel
 from repro.core.loop_nest import LoopNest, validate_loop_order
-from repro.core.scheduler import Schedule, SpTTNScheduler
+from repro.core.scheduler import Schedule
 from repro.engine.blas import specialize_contraction
 from repro.engine.buffers import BufferSet
+from repro.engine.plan_cache import (
+    CompiledPlan,
+    PlanCache,
+    cached_schedule,
+    default_plan_cache,
+    operand_signature,
+    plan_key,
+)
 from repro.sptensor.coo import COOTensor
-from repro.sptensor.csf import CSFTensor
+from repro.sptensor.csf import CSFTensor, csf_for_mode_order
 from repro.sptensor.dense import DenseTensor
 from repro.util.counters import OpCounter
 from repro.util.validation import require
@@ -50,6 +66,12 @@ _ARRAY = 3            # dense array / buffer / dense output slice
 _SPARSE_OUT_LEAF = 4  # accumulate into out_values[csf_pos]
 _SPARSE_OUT_LOOKUP = 5
 _SPARSE_OUT_FIBER = 6  # accumulate into out_values[lo:hi]
+
+# Symbolic array slots used in cached (array-independent) recipes; bound to
+# concrete arrays per execution by LoopNestExecutor._bind_steps.
+_SLOT_DENSE = "dense"    # a dense input operand, by name
+_SLOT_BUFFER = "buffer"  # an intermediate buffer, by name
+_SLOT_OUT = "out"        # the dense output array
 
 
 class LoopNestExecutor:
@@ -72,6 +94,13 @@ class LoopNestExecutor:
     counter:
         Optional :class:`~repro.util.counters.OpCounter` accumulating scalar
         operation counts, buffer resets and BLAS-call classifications.
+    plan_cache:
+        Where compiled plans live.  ``True`` (default) uses the process-wide
+        cache from :func:`~repro.engine.plan_cache.default_plan_cache`; a
+        :class:`~repro.engine.plan_cache.PlanCache` instance uses that cache
+        (isolation for tests/benchmarks); ``None``/``False`` disables
+        caching entirely, rebuilding the plan on every ``execute`` call (the
+        pre-cache per-call-planning behaviour, kept for measurement).
     """
 
     def __init__(
@@ -80,6 +109,7 @@ class LoopNestExecutor:
         loop_nest: LoopNest,
         offload: bool = True,
         counter: Optional[OpCounter] = None,
+        plan_cache: Union[PlanCache, bool, None] = True,
     ) -> None:
         self.kernel = kernel
         self.loop_nest = loop_nest
@@ -94,6 +124,16 @@ class LoopNestExecutor:
         self.output_name = kernel.output.name
         self._consumers = self.path.consumers()
         self._buffer_specs = loop_nest.buffers()
+        self._buffer_axes: Dict[str, Tuple[str, ...]] = {
+            spec.name: spec.indices for spec in self._buffer_specs
+        }
+        self._dense_names = frozenset(op.name for op in kernel.dense_operands)
+        if plan_cache is True:
+            self._cache: Optional[PlanCache] = default_plan_cache()
+        elif plan_cache in (False, None):
+            self._cache = None
+        else:
+            self._cache = plan_cache
 
         # run-time state, populated by execute()
         self._csf: Optional[CSFTensor] = None
@@ -101,7 +141,8 @@ class LoopNestExecutor:
         self._buffers: Optional[BufferSet] = None
         self._out_dense: Optional[np.ndarray] = None
         self._out_values: Optional[np.ndarray] = None
-        self._plan_cache: Dict[Tuple[Tuple[int, ...], int], list] = {}
+        self._plan: Optional[CompiledPlan] = None
+        self._bound_sites: Dict[Tuple[Tuple[int, ...], int], list] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -114,10 +155,21 @@ class LoopNestExecutor:
         Returns a dense ``numpy.ndarray`` (axes ordered as the kernel's
         output indices) or, for sparse-pattern outputs, a
         :class:`~repro.sptensor.coo.COOTensor` sharing the input pattern.
+
+        Sparse operands are treated as immutable: their CSF conversion is
+        memoized per tensor object, so mutating a tensor's ``values`` array
+        in place between calls is not observed — build a new tensor with
+        :meth:`~repro.sptensor.coo.COOTensor.with_values` instead.
         """
         self._prepare(tensors)
-        positions = tuple(range(len(self.path)))
-        self._run(positions, 0, {}, -1, 0)
+        assert self._plan is not None
+        if self._plan.fused is None:
+            self._plan.fused = self._compile_fused_sweep()
+        if self._plan.fused is not False:
+            self._run_fused_sweep(self._plan.fused)
+        else:
+            positions = tuple(range(len(self.path)))
+            self._run(positions, 0, {}, -1, 0)
         if self.kernel.output.is_sparse:
             return self._sparse_output()
         assert self._out_dense is not None
@@ -136,13 +188,8 @@ class LoopNestExecutor:
         mode_order = tuple(
             spec_indices.index(name) for name in kernel.csf_mode_order
         )
-        if isinstance(sparse_in, CSFTensor):
-            if sparse_in.mode_order == mode_order:
-                csf = sparse_in
-            else:
-                csf = CSFTensor.from_coo(sparse_in.to_coo(), mode_order)
-        elif isinstance(sparse_in, COOTensor):
-            csf = CSFTensor.from_coo(sparse_in, mode_order)
+        if isinstance(sparse_in, (CSFTensor, COOTensor)):
+            csf = csf_for_mode_order(sparse_in, mode_order)
         else:
             raise TypeError(
                 f"sparse operand {self.sparse_name!r} must be COOTensor or CSFTensor"
@@ -175,9 +222,22 @@ class LoopNestExecutor:
             shape = tuple(kernel.index_dims[i] for i in kernel.output.indices)
             self._out_dense = np.zeros(shape if shape else (), dtype=np.float64)
             self._out_values = None
-        # Plans embed direct references to the freshly allocated arrays, so
-        # they must be rebuilt per execute().
-        self._plan_cache = {}
+
+        # Fetch (or create) the compiled plan for this structure.  Plans are
+        # array-independent; only the per-execution bindings are reset here.
+        key = plan_key(
+            kernel,
+            self.loop_nest,
+            offload=self.offload,
+            operands=operand_signature(kernel, tensors),
+        )
+        if self._cache is not None:
+            plan = self._cache.get_or_create(key, lambda: CompiledPlan(key))
+            assert isinstance(plan, CompiledPlan)
+            self._plan = plan
+        else:
+            self._plan = CompiledPlan(key)
+        self._bound_sites = {}
 
     def _sparse_output(self) -> COOTensor:
         csf = self._csf
@@ -203,11 +263,14 @@ class LoopNestExecutor:
         group: Sequence[int],
         after_positions: Sequence[int],
         bound_names: Sequence[str],
-    ) -> List[Tuple[np.ndarray, tuple]]:
-        """Buffers to zero before entering *group* (producer/consumer split)."""
-        assert self._buffers is not None
+    ) -> List[Tuple[Tuple[str, Optional[str]], tuple]]:
+        """Buffers to zero before entering *group* (producer/consumer split).
+
+        Returns symbolic ``(slot, template)`` pairs; the slot is bound to
+        the per-execution buffer array by :meth:`_bind_steps`.
+        """
         after = set(after_positions)
-        resets: List[Tuple[np.ndarray, tuple]] = []
+        resets: List[Tuple[Tuple[str, Optional[str]], tuple]] = []
         bound_set = set(bound_names)
         for pos in group:
             term = self.path[pos]
@@ -215,9 +278,9 @@ class LoopNestExecutor:
                 continue
             consumer = self._consumers.get(pos)
             if consumer is not None and consumer in after:
-                axes = self._buffers.axes(term.out)
+                axes = self._buffer_axes[term.out]
                 template = tuple(i if i in bound_set else None for i in axes)
-                resets.append((self._buffers.array(term.out), template))
+                resets.append(((_SLOT_BUFFER, term.out), template))
         return resets
 
     def _offload_mode(
@@ -262,7 +325,7 @@ class LoopNestExecutor:
         fiber_index: Optional[str],
         at_leaf: bool,
     ):
-        """Static access recipe for one input slot of a term."""
+        """Static (array-independent) access recipe for one input of a term."""
         kernel = self.kernel
         if name == self.sparse_name:
             unbound = [i for i in indices if i not in bound_set]
@@ -274,23 +337,25 @@ class LoopNestExecutor:
             )
             mode = _SPARSE_LEAF if at_leaf else _SPARSE_LOOKUP
             return (mode,), ()
-        if name in self._dense:
-            arr = self._dense[name]
+        if name in self._dense_names:
+            slot = (_SLOT_DENSE, name)
             axes = indices
         elif name == self.output_name and not kernel.output.is_sparse:
-            assert self._out_dense is not None
-            arr = self._out_dense
+            slot = (_SLOT_OUT, None)
             axes = indices
         else:
-            assert self._buffers is not None and name in self._buffers
-            arr = self._buffers.array(name)
-            axes = self._buffers.axes(name)
+            require(
+                name in self._buffer_axes,
+                f"internal error: unknown operand slot {name!r}",
+            )
+            slot = (_SLOT_BUFFER, name)
+            axes = self._buffer_axes[name]
         template = tuple(i if i in bound_set else None for i in axes)
         free = tuple(i for i in axes if i not in bound_set)
         gather_axis = None
         if fiber_index is not None and fiber_index in free:
             gather_axis = free.index(fiber_index)
-        return (_ARRAY, arr, template, gather_axis), free
+        return (_ARRAY, slot, template, gather_axis), free
 
     def _output_recipe(
         self,
@@ -300,7 +365,7 @@ class LoopNestExecutor:
         fiber_index: Optional[str],
         at_leaf: bool,
     ):
-        """Static write recipe for a term's output slot."""
+        """Static (array-independent) write recipe for a term's output."""
         kernel = self.kernel
         if name == self.output_name and kernel.output.is_sparse:
             if fiber_index is not None:
@@ -308,16 +373,14 @@ class LoopNestExecutor:
             mode = _SPARSE_OUT_LEAF if at_leaf else _SPARSE_OUT_LOOKUP
             return (mode,), ()
         if name == self.output_name:
-            assert self._out_dense is not None
-            arr = self._out_dense
+            slot = (_SLOT_OUT, None)
             axes = indices
         else:
-            assert self._buffers is not None
-            arr = self._buffers.array(name)
-            axes = self._buffers.axes(name)
+            slot = (_SLOT_BUFFER, name)
+            axes = self._buffer_axes[name]
         template = tuple(i if i in bound_set else None for i in axes)
         free = tuple(i for i in axes if i not in bound_set)
-        return (_ARRAY, arr, template, None), free
+        return (_ARRAY, slot, template, None), free
 
     def _build_offload_step(
         self,
@@ -412,6 +475,179 @@ class LoopNestExecutor:
         return steps
 
     # ------------------------------------------------------------------ #
+    # Fused fiber sweep (whole-nest vectorization for the MTTKRP idiom)
+    # ------------------------------------------------------------------ #
+    def _site_steps(self, positions: Tuple[int, ...], depth: int, csf_level: int):
+        """Symbolic steps of one site, building (and caching) on first use."""
+        assert self._plan is not None
+        key = (positions, depth)
+        steps = self._plan.site(key)
+        if steps is None:
+            steps = self._plan.add_site(
+                key, self._build_plan(positions, depth, csf_level)
+            )
+        return steps
+
+    def _compile_fused_sweep(self):
+        """Recognize the fully-fused MTTKRP idiom and lower it to one sweep.
+
+        The idiom (the paper's Listing 3): two CSF loops over the first two
+        storage modes enclosing (a) a fiber offload contracting the leaf
+        mode with a gathered dense matrix into a rank-vector buffer and (b)
+        a Hadamard offload folding that buffer, scaled by a row of a second
+        dense matrix, into one row of the dense output.  When matched, the
+        whole nest is executed with segment reductions over the CSF level
+        arrays (one vectorized pass, SPLATT-style) instead of per-fiber
+        interpretation — same contraction, same operation counts, orders of
+        magnitude fewer Python-level steps.  Returns ``False`` when the nest
+        does not match; the interpreter is used as usual.
+        """
+        kernel = self.kernel
+        if (
+            not self.offload
+            or len(self.path) != 2
+            or len(kernel.csf_mode_order) != 3
+            or kernel.output.is_sparse
+        ):
+            return False
+        positions = tuple(range(len(self.path)))
+        site0 = self._site_steps(positions, 0, -1)
+        if len(site0) != 1 or site0[0][0] != "loop":
+            return False
+        (_, resets0, idx0, group0, use_csf0, _dim0) = site0[0]
+        if resets0 or not use_csf0 or group0 != positions:
+            return False
+        site1 = self._site_steps(positions, 1, 0)
+        if len(site1) != 1 or site1[0][0] != "loop":
+            return False
+        (_, resets1, idx1, group1, use_csf1, _dim1) = site1[0]
+        if resets1 or not use_csf1 or group1 != positions:
+            return False
+        site2 = self._site_steps(positions, 2, 1)
+        if len(site2) != 2 or any(step[0] != "offload" for step in site2):
+            return False
+        (_, resets_a, lhs_a, rhs_a, out_a, _fn_a, blas_a, fiber_a) = site2[0]
+        (_, resets_b, lhs_b, rhs_b, out_b, _fn_b, blas_b, fiber_b) = site2[1]
+        if not fiber_a or fiber_b or resets_b:
+            return False
+        # (a) leaf fiber times a fully-free gathered matrix -> rank vector
+        if lhs_a == (_SPARSE_FIBER,):
+            mat = rhs_a
+        elif rhs_a == (_SPARSE_FIBER,):
+            mat = lhs_a
+        else:
+            return False
+        if (
+            mat[0] != _ARRAY
+            or mat[1][0] != _SLOT_DENSE
+            or mat[2] != (None, None)
+            or mat[3] != 0
+        ):
+            return False
+        if (
+            out_a[0] != _ARRAY
+            or out_a[1][0] != _SLOT_BUFFER
+            or out_a[2] != (None,)
+        ):
+            return False
+        buffer_slot = out_a[1]
+        if resets_a != [(buffer_slot, (None,))]:
+            return False
+        # (b) buffer (Hadamard) a row of a dense matrix -> one output row
+        sides = [lhs_b, rhs_b]
+        buf_sides = [
+            s
+            for s in sides
+            if s[0] == _ARRAY and s[1] == buffer_slot and s[2] == (None,)
+        ]
+        row_sides = [
+            s
+            for s in sides
+            if s[0] == _ARRAY
+            and s[1][0] == _SLOT_DENSE
+            and s[2] == (idx1, None)
+            and s[3] is None
+        ]
+        if len(buf_sides) != 1 or len(row_sides) != 1:
+            return False
+        if out_b[0] != _ARRAY or out_b[2] != (idx0, None) or out_b[3] is not None:
+            return False
+        return (mat[1], row_sides[0][1], out_b[1], blas_a, blas_b)
+
+    def _run_fused_sweep(self, spec) -> None:
+        """Execute a matched nest as segment reductions over the CSF levels.
+
+        Counters record the same flop totals, logical kernel-call counts and
+        buffer resets as the interpreted nest would.
+        """
+        mat_slot, row_slot, out_slot, blas_a, blas_b = spec
+        csf = self._csf
+        assert csf is not None
+        if csf.nnz == 0:
+            return
+        counter = self.counter
+        mat = self._slot_array(mat_slot)       # (leaf-mode dim, rank)
+        rows = self._slot_array(row_slot)      # (middle-mode dim, rank)
+        out = self._slot_array(out_slot)       # (root-mode dim, rank)
+        # rank vector per leaf fiber: segment-reduce vals * mat[leaf ids]
+        expanded = csf.values[:, None] * mat.take(csf.fids[2], axis=0)
+        per_fiber = np.add.reduceat(expanded, csf.fptr[1][:-1], axis=0)
+        # scale by the middle-mode rows, fold fibers into root-mode rows
+        weighted = rows.take(csf.fids[1], axis=0) * per_fiber
+        out[csf.fids[0]] += np.add.reduceat(weighted, csf.fptr[0][:-1], axis=0)
+        n_fibers = csf.fids[1].shape[0]
+        rank = mat.shape[1]
+        counter.buffer_resets += n_fibers
+        counter.flops += 2 * csf.nnz * rank + 2 * n_fibers * rank
+        calls = counter.kernel_calls
+        calls[blas_a] = calls.get(blas_a, 0) + n_fibers
+        calls[blas_b] = calls.get(blas_b, 0) + n_fibers
+
+    # ------------------------------------------------------------------ #
+    # Plan binding (per execution: substitute concrete arrays for slots)
+    # ------------------------------------------------------------------ #
+    def _slot_array(self, slot: Tuple[str, Optional[str]]) -> np.ndarray:
+        kind, name = slot
+        if kind == _SLOT_DENSE:
+            return self._dense[name]
+        if kind == _SLOT_BUFFER:
+            assert self._buffers is not None
+            return self._buffers.array(name)
+        assert self._out_dense is not None
+        return self._out_dense
+
+    def _bind_recipe(self, recipe: tuple) -> tuple:
+        if recipe[0] != _ARRAY:
+            return recipe
+        _, slot, template, gather_axis = recipe
+        return (_ARRAY, self._slot_array(slot), template, gather_axis)
+
+    def _bind_steps(self, steps: list) -> list:
+        """Bind one site's symbolic steps to this execution's arrays."""
+        bound_steps: list = []
+        for step in steps:
+            resets = [
+                (self._slot_array(slot), template) for slot, template in step[1]
+            ]
+            if step[0] == "offload":
+                (_, _, lhs, rhs, out, fn, blas_name, is_fiber) = step
+                bound_steps.append(
+                    (
+                        "offload",
+                        resets,
+                        self._bind_recipe(lhs),
+                        self._bind_recipe(rhs),
+                        self._bind_recipe(out),
+                        fn,
+                        blas_name,
+                        is_fiber,
+                    )
+                )
+            else:
+                bound_steps.append(("loop", resets) + step[2:])
+        return bound_steps
+
+    # ------------------------------------------------------------------ #
     # Plan execution
     # ------------------------------------------------------------------ #
     def _run(
@@ -423,10 +659,16 @@ class LoopNestExecutor:
         csf_pos: int,
     ) -> None:
         key = (positions, depth)
-        plan = self._plan_cache.get(key)
+        plan = self._bound_sites.get(key)
         if plan is None:
-            plan = self._build_plan(positions, depth, csf_level)
-            self._plan_cache[key] = plan
+            assert self._plan is not None
+            symbolic = self._plan.site(key)
+            if symbolic is None:
+                symbolic = self._plan.add_site(
+                    key, self._build_plan(positions, depth, csf_level)
+                )
+            plan = self._bind_steps(symbolic)
+            self._bound_sites[key] = plan
 
         counter = self.counter
         csf = self._csf
@@ -548,8 +790,7 @@ def execute_kernel(
     that was selected (so callers can inspect the chosen loop nest).
     """
     kernel = parse_kernel(spec, tensors, names=names)
-    scheduler = SpTTNScheduler(kernel, buffer_dim_bound=buffer_dim_bound)
-    schedule = scheduler.schedule()
+    schedule = cached_schedule(kernel, buffer_dim_bound=buffer_dim_bound)
     executor = LoopNestExecutor(
         kernel, schedule.loop_nest, offload=offload, counter=counter
     )

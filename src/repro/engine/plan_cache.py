@@ -1,0 +1,288 @@
+"""Compiled execution plans and the process-wide plan/schedule caches.
+
+The paper's premise is that loop-nest *search* is cheap relative to
+execution — but only if search and planning results are amortized across the
+many executions a real workload performs (CP-ALS and Tucker-HOOI run the
+same MTTKRP/TTMc kernel once per mode per sweep, dozens of times total).
+This module provides that amortization layer:
+
+* :class:`CompiledPlan` — the array-independent result of the executor's
+  preprocessing stage (Algorithm 2, stage 1).  A plan maps each recursion
+  site of the fused loop nest to a list of *symbolic* steps: loops, buffer
+  resets and offload sites whose operand recipes name slots (``dense``
+  operand, intermediate ``buffer``, kernel ``out``) instead of embedding
+  concrete arrays.  Binding a plan to freshly allocated arrays is a cheap
+  substitution pass, so repeated ``execute()`` calls on the same structure
+  perform zero per-call symbolic analysis.
+* :class:`PlanCache` — a small LRU cache with hit/miss/eviction counters,
+  keyed by the full structural identity of a loop nest
+  (:func:`plan_key`: kernel signature, loop orders, contraction path, CSF
+  mode order, operand shapes/dtypes, offload flag).
+* :func:`cached_schedule` — the same amortization for the scheduler's
+  search itself, keyed by kernel signature plus sparsity statistics, so
+  applications that repeatedly schedule structurally identical kernels
+  (the apps in :mod:`repro.apps`, benchmark sweeps) pay for the search
+  once per process.
+
+Caches are per-process and rely on the GIL for consistency; entries are
+immutable once built, so sharing a :class:`CompiledPlan` between executors
+is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.expr import SpTTNKernel
+from repro.core.loop_nest import LoopNest
+from repro.core.scheduler import Schedule, SpTTNScheduler
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.csf import CSFTensor
+from repro.sptensor.dense import DenseTensor
+
+PlanKey = Tuple[Hashable, ...]
+
+#: A recursion site of the fused loop nest: (term positions, loop depth).
+SiteKey = Tuple[Tuple[int, ...], int]
+
+
+# --------------------------------------------------------------------------- #
+# Structural keys
+# --------------------------------------------------------------------------- #
+def kernel_signature(kernel: SpTTNKernel) -> PlanKey:
+    """Hashable structural identity of a kernel (no sparsity statistics)."""
+    return (
+        tuple((op.name, op.indices, op.is_sparse) for op in kernel.operands),
+        (kernel.output.name, kernel.output.indices, kernel.output.is_sparse),
+        tuple(sorted(kernel.index_dims.items())),
+        kernel.csf_mode_order,
+    )
+
+
+def operand_signature(
+    kernel: SpTTNKernel, tensors: Mapping[str, object]
+) -> PlanKey:
+    """Shapes and dtypes of the concrete operands, in operand order."""
+    sig: List[Tuple[Hashable, ...]] = []
+    for op in kernel.operands:
+        value = tensors[op.name]
+        if isinstance(value, (COOTensor, CSFTensor)):
+            sig.append(("sparse", tuple(value.shape), str(value.values.dtype)))
+        elif isinstance(value, DenseTensor):
+            sig.append(("dense", tuple(value.data.shape), str(value.data.dtype)))
+        else:
+            arr = np.asarray(value)
+            sig.append(("dense", tuple(arr.shape), str(arr.dtype)))
+    return tuple(sig)
+
+
+def plan_key(
+    kernel: SpTTNKernel,
+    loop_nest: LoopNest,
+    offload: bool = True,
+    operands: PlanKey = (),
+) -> PlanKey:
+    """Full structural identity of one compiled plan.
+
+    Two executions share a plan exactly when this key matches: same kernel
+    signature, same contraction path, same per-term loop orders, same CSF
+    mode order (part of the kernel signature), same operand shapes/dtypes
+    and the same offload setting.
+    """
+    path = loop_nest.path
+    return (
+        kernel_signature(kernel),
+        tuple(
+            (t.lhs, t.rhs, t.out, t.lhs_indices, t.rhs_indices, t.out_indices)
+            for t in path
+        ),
+        tuple(tuple(order) for order in loop_nest.order),
+        bool(offload),
+        tuple(operands),
+    )
+
+
+def schedule_key(
+    kernel: SpTTNKernel,
+    buffer_dim_bound: Optional[int],
+    flop_tolerance: float,
+    max_paths: Optional[int],
+    enforce_csf_order: bool,
+) -> PlanKey:
+    """Identity of one scheduling problem (kernel structure + sparsity stats)."""
+    stats = kernel.sparse_stats
+    prefix = stats.get("prefix_nnz") or {}
+    return (
+        kernel_signature(kernel),
+        stats.get("nnz"),
+        tuple(sorted(prefix.items())),
+        buffer_dim_bound,
+        float(flop_tolerance),
+        max_paths,
+        bool(enforce_csf_order),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Compiled plans
+# --------------------------------------------------------------------------- #
+class CompiledPlan:
+    """Symbolic execution plan for one loop-nest structure.
+
+    The plan is a mapping from recursion sites (term positions, depth) to
+    step lists produced by the executor's preprocessing stage.  Steps are
+    array-independent: operand recipes reference slots by name and are bound
+    to concrete arrays per execution.  Sites are discovered lazily during
+    the first execution and reused verbatim afterwards.
+
+    ``fused`` records the whole-nest vectorization decision (the executor's
+    fused fiber sweep): ``None`` until the first execution checks the nest
+    shape, then either ``False`` or the symbolic sweep specification.
+    """
+
+    __slots__ = ("key", "sites", "fused")
+
+    def __init__(self, key: PlanKey) -> None:
+        self.key = key
+        self.sites: Dict[SiteKey, list] = {}
+        self.fused: object = None
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def site(self, site_key: SiteKey) -> Optional[list]:
+        return self.sites.get(site_key)
+
+    def add_site(self, site_key: SiteKey, steps: list) -> list:
+        self.sites[site_key] = steps
+        return steps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledPlan(sites={len(self.sites)})"
+
+
+class PlanCache:
+    """Bounded LRU cache with hit/miss/eviction counters.
+
+    Used process-wide for compiled plans and schedules; create private
+    instances for isolation (tests, benchmarks measuring cold starts).
+    """
+
+    def __init__(self, max_entries: Optional[int] = 512) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be None or >= 1")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[PlanKey, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: PlanKey) -> Optional[object]:
+        """Peek without touching the counters or the LRU order."""
+        return self._entries.get(key)
+
+    def get_or_create(self, key: PlanKey, factory: Callable[[], object]) -> object:
+        """Return the cached value for *key*, building it on first use."""
+        value = self._entries.get(key)
+        if value is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
+        self.misses += 1
+        value = factory()
+        self._entries[key] = value
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+_DEFAULT_PLAN_CACHE = PlanCache()
+_DEFAULT_SCHEDULE_CACHE = PlanCache(max_entries=256)
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache of compiled plans used by the executor."""
+    return _DEFAULT_PLAN_CACHE
+
+
+def default_schedule_cache() -> PlanCache:
+    """The process-wide cache of schedules used by :func:`cached_schedule`."""
+    return _DEFAULT_SCHEDULE_CACHE
+
+
+def clear_caches() -> None:
+    """Drop all cached plans and schedules (stats are kept)."""
+    _DEFAULT_PLAN_CACHE.clear()
+    _DEFAULT_SCHEDULE_CACHE.clear()
+
+
+# --------------------------------------------------------------------------- #
+# Schedule caching
+# --------------------------------------------------------------------------- #
+def cached_schedule(
+    kernel: SpTTNKernel,
+    buffer_dim_bound: Optional[int] = 2,
+    flop_tolerance: float = 1.5,
+    max_paths: Optional[int] = 5000,
+    enforce_csf_order: bool = True,
+    cache: Optional[PlanCache] = None,
+) -> Schedule:
+    """Run the scheduler's search once per kernel structure per process.
+
+    Structurally identical kernels (same operands, dimensions, CSF mode
+    order and sparsity statistics) reuse the previously selected
+    :class:`~repro.core.scheduler.Schedule`; the returned schedule's
+    ``loop_nest`` is kernel-object independent and can be executed against
+    any kernel with the same signature.  Custom cost functions cannot be
+    keyed, so use :class:`~repro.core.scheduler.SpTTNScheduler` directly
+    for those.
+    """
+    cache = cache if cache is not None else _DEFAULT_SCHEDULE_CACHE
+    key = schedule_key(
+        kernel, buffer_dim_bound, flop_tolerance, max_paths, enforce_csf_order
+    )
+
+    def build() -> Schedule:
+        scheduler = SpTTNScheduler(
+            kernel,
+            buffer_dim_bound=buffer_dim_bound,
+            flop_tolerance=flop_tolerance,
+            max_paths=max_paths,
+            enforce_csf_order=enforce_csf_order,
+        )
+        return scheduler.schedule()
+
+    schedule = cache.get_or_create(key, build)
+    assert isinstance(schedule, Schedule)
+    return schedule

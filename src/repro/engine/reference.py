@@ -8,7 +8,7 @@ the test suite and the examples' self-checks.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Union
+from typing import Mapping, Union
 
 import numpy as np
 

@@ -10,7 +10,7 @@ expressed over coordinates.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -40,7 +40,7 @@ class COOTensor:
     when an observed value happens to be zero.
     """
 
-    __slots__ = ("shape", "indices", "values")
+    __slots__ = ("shape", "indices", "values", "__weakref__")
 
     def __init__(
         self,

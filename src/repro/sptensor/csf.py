@@ -26,6 +26,7 @@ Representation
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
@@ -50,7 +51,7 @@ class CSFTensor:
     supported for tests and for distributed-local subtensors.
     """
 
-    __slots__ = ("shape", "mode_order", "fids", "fptr", "values")
+    __slots__ = ("shape", "mode_order", "fids", "fptr", "values", "__weakref__")
 
     def __init__(
         self,
@@ -318,3 +319,42 @@ class CSFTensor:
         ptr = self.fptr[-1]
         counts = np.diff(ptr)
         return np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+
+
+# --------------------------------------------------------------------------- #
+# Memoized conversion
+# --------------------------------------------------------------------------- #
+#: Per-source-tensor memo of CSF conversions, keyed weakly by the source
+#: object so entries disappear with their tensors.  Values map a CSF mode
+#: order to the converted tensor.
+_CONVERSION_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def csf_for_mode_order(
+    tensor: "COOTensor | CSFTensor", mode_order: Sequence[int]
+) -> "CSFTensor":
+    """CSF view of a sparse tensor for one mode order, memoized per source.
+
+    Repeatedly executing a kernel on the same COO (or differently-ordered
+    CSF) tensor pays the analysis/sort cost of :meth:`CSFTensor.from_coo`
+    only once per (tensor object, mode order) — the SPLATT-style CSF
+    amortization across ALS iterations.  The source tensor is treated as
+    immutable: rebinding ``tensor.values`` to a new array invalidates the
+    memo (detected by identity), but mutating the values array *in place*
+    after a conversion leaves the memoized CSF stale — create a new tensor
+    instead (e.g. :meth:`COOTensor.with_values`), as all library code does.
+    """
+    mode_order = tuple(int(m) for m in mode_order)
+    if isinstance(tensor, CSFTensor) and tensor.mode_order == mode_order:
+        return tensor
+    per_source = _CONVERSION_MEMO.get(tensor)
+    if per_source is not None:
+        entry = per_source.get(mode_order)
+        if entry is not None and entry[0] is tensor.values:
+            return entry[1]
+    coo = tensor.to_coo() if isinstance(tensor, CSFTensor) else tensor
+    csf = CSFTensor.from_coo(coo, mode_order)
+    if per_source is None:
+        per_source = _CONVERSION_MEMO.setdefault(tensor, {})
+    per_source[mode_order] = (tensor.values, csf)
+    return csf

@@ -11,7 +11,7 @@ import pytest
 
 import repro
 from repro.core.expr import parse_kernel
-from repro.sptensor import COOTensor, DenseTensor, random_dense_matrix, random_sparse_tensor
+from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
 
 
 @pytest.fixture

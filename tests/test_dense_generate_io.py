@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sptensor import (
-    COOTensor,
     DenseTensor,
     block_sparse_tensor,
     dataset_presets,

@@ -14,9 +14,6 @@ from repro.distributed import (
 )
 from repro.engine.reference import assert_same_result, reference_output
 from repro.kernels.mttkrp import mttkrp_kernel
-from repro.kernels.ttmc import ttmc_kernel
-from repro.kernels.tttp import tttp_kernel
-from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
 
 
 class TestProcessorGrid:

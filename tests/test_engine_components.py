@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.contraction_path import rank_contraction_paths
-from repro.core.loop_nest import BufferSpec, LoopNest, LoopOrder
+from repro.core.loop_nest import BufferSpec
 from repro.engine.blas import axpy, classify_call, dot, gemv, ger, vectorized_contract
 from repro.engine.buffers import BufferSet
 from repro.engine.reference import assert_same_result, dense_reference, reference_output

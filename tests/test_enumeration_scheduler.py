@@ -2,12 +2,11 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.autotune import Autotuner
 from repro.core.contraction_path import enumerate_contraction_paths, rank_contraction_paths
-from repro.core.cost_model import CONSTRAINT_PENALTY, ExecutionCost, MaxBufferDimCost
+from repro.core.cost_model import CONSTRAINT_PENALTY, MaxBufferDimCost
 from repro.core.enumeration import (
     count_loop_orders,
     enumerate_loop_nests,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.expr import KernelOperand, SpTTNKernel, parse_kernel
-from repro.sptensor import CSFTensor, DenseTensor, random_dense_matrix, random_sparse_tensor
+from repro.sptensor import CSFTensor, random_sparse_tensor
 
 
 class TestParseKernel:

@@ -1,7 +1,6 @@
 """End-to-end integration tests spanning multiple subsystems."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.apps import cp_als, cp_completion
@@ -9,7 +8,7 @@ from repro.core.scheduler import SpTTNScheduler
 from repro.distributed import DistributedSpTTN
 from repro.engine.reference import assert_same_result, reference_output
 from repro.frameworks import SpTTNCyclopsBaseline, TacoLikeBaseline
-from repro.kernels import mttkrp_kernel, ttmc_kernel
+from repro.kernels import mttkrp_kernel
 from repro.sptensor import load_preset, random_dense_matrix, read_tns, write_tns
 
 

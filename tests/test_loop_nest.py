@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.contraction_path import enumerate_contraction_paths, rank_contraction_paths
+from repro.core.contraction_path import rank_contraction_paths
 from repro.core.loop_nest import (
     LoopNest,
     LoopOrder,

@@ -1,0 +1,213 @@
+"""Plan-cache correctness: hit/miss keying, bit-identical results, memos."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.enumeration import enumerate_loop_orders
+from repro.core.loop_nest import LoopNest
+from repro.core.scheduler import SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.engine.plan_cache import (
+    PlanCache,
+    cached_schedule,
+    default_plan_cache,
+    kernel_signature,
+    plan_key,
+)
+from repro.sptensor import COOTensor, CSFTensor, random_dense_matrix, random_sparse_tensor
+from repro.sptensor.csf import csf_for_mode_order
+from repro.core.expr import parse_kernel
+
+
+def _schedule_nest(kernel) -> LoopNest:
+    return SpTTNScheduler(kernel).schedule().loop_nest
+
+
+def _outputs_equal(a, b) -> None:
+    if isinstance(a, COOTensor):
+        assert isinstance(b, COOTensor)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+    else:
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+
+class TestPlanCacheKeying:
+    def test_hit_on_identical_structure(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        cache = PlanCache()
+
+        executor = LoopNestExecutor(kernel, nest, plan_cache=cache)
+        first = executor.execute(tensors)
+        assert cache.stats()["misses"] == 1 and cache.stats()["hits"] == 0
+
+        second = executor.execute(tensors)
+        assert cache.stats()["hits"] == 1
+        _outputs_equal(first, second)
+
+        # a brand-new executor over the same structure shares the plan
+        other = LoopNestExecutor(kernel, nest, plan_cache=cache)
+        third = other.execute(tensors)
+        assert cache.stats()["hits"] == 2
+        assert cache.stats()["misses"] == 1
+        assert other._plan is executor._plan
+        _outputs_equal(first, third)
+
+    def test_miss_on_changed_loop_order(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        orders = [
+            order
+            for order in enumerate_loop_orders(kernel, nest.path)
+            if order != nest.order
+        ]
+        cache = PlanCache()
+        LoopNestExecutor(kernel, nest, plan_cache=cache).execute(tensors)
+        LoopNestExecutor(
+            kernel, LoopNest(nest.path, orders[0]), plan_cache=cache
+        ).execute(tensors)
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_miss_on_changed_shape(self):
+        def build(dim):
+            T = random_sparse_tensor((10, dim, 6), nnz=40, seed=3)
+            B = random_dense_matrix(dim, 4, seed=1, name="B")
+            C = random_dense_matrix(6, 4, seed=2, name="C")
+            kernel = parse_kernel("ijk,ja,ka->ia", [T, B, C], names=["T", "B", "C"])
+            return kernel, {"T": T, "B": B, "C": C}
+
+        cache = PlanCache()
+        for dim in (8, 9):
+            kernel, tensors = build(dim)
+            nest = _schedule_nest(kernel)
+            LoopNestExecutor(kernel, nest, plan_cache=cache).execute(tensors)
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_miss_on_changed_dtype(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        cache = PlanCache()
+        LoopNestExecutor(kernel, nest, plan_cache=cache).execute(tensors)
+
+        downcast = dict(tensors)
+        downcast["B"] = np.asarray(tensors["B"].data, dtype=np.float32)
+        LoopNestExecutor(kernel, nest, plan_cache=cache).execute(downcast)
+        assert cache.stats()["misses"] == 2
+
+    def test_miss_on_offload_flag(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        cache = PlanCache()
+        LoopNestExecutor(kernel, nest, plan_cache=cache).execute(tensors)
+        LoopNestExecutor(kernel, nest, offload=False, plan_cache=cache).execute(
+            tensors
+        )
+        assert cache.stats()["misses"] == 2
+
+    def test_plan_key_is_hashable_and_stable(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        key1 = plan_key(kernel, nest)
+        key2 = plan_key(kernel, nest)
+        assert key1 == key2
+        assert hash(key1) == hash(key2)
+        assert kernel_signature(kernel) == kernel_signature(kernel)
+
+    def test_lru_eviction(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        orders = list(enumerate_loop_orders(kernel, nest.path))[:3]
+        cache = PlanCache(max_entries=1)
+        for order in orders:
+            LoopNestExecutor(
+                kernel, LoopNest(nest.path, order), plan_cache=cache
+            ).execute(tensors)
+        assert len(cache) == 1
+        assert cache.stats()["evictions"] == 2
+
+    def test_default_cache_is_used(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        cache = default_plan_cache()
+        executor = LoopNestExecutor(kernel, nest)  # plan_cache=True default
+        executor.execute(tensors)
+        assert cache.get(executor._plan.key) is executor._plan
+
+
+class TestPlanCacheResults:
+    @pytest.mark.parametrize(
+        "fixture", ["mttkrp_setup", "ttmc_setup", "tttp_setup", "allmode_setup"]
+    )
+    def test_bit_identical_cached_vs_fresh(self, request, fixture):
+        kernel, tensors = request.getfixturevalue(fixture)
+        nest = _schedule_nest(kernel)
+
+        cache = PlanCache()
+        cached_exec = LoopNestExecutor(kernel, nest, plan_cache=cache)
+        warm1 = cached_exec.execute(tensors)
+        warm2 = cached_exec.execute(tensors)  # cache hit
+        fresh = LoopNestExecutor(kernel, nest, plan_cache=None).execute(tensors)
+
+        _outputs_equal(warm1, warm2)
+        _outputs_equal(warm1, fresh)
+        assert cache.stats()["hits"] >= 1
+
+    def test_disabled_cache_rebuilds_plans(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        executor = LoopNestExecutor(kernel, nest, plan_cache=None)
+        executor.execute(tensors)
+        plan_a = executor._plan
+        executor.execute(tensors)
+        assert executor._plan is not plan_a  # rebuilt per call
+
+
+class TestScheduleCache:
+    def test_schedule_cache_hits(self, mttkrp_setup):
+        kernel, _ = mttkrp_setup
+        cache = PlanCache()
+        first = cached_schedule(kernel, cache=cache)
+        second = cached_schedule(kernel, cache=cache)
+        assert first is second
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_schedule_cache_misses_on_different_stats(self):
+        cache = PlanCache()
+        for seed in (1, 2):
+            T = random_sparse_tensor((12, 10, 8), nnz=30 + seed * 10, seed=seed)
+            B = random_dense_matrix(10, 3, seed=1, name="B")
+            C = random_dense_matrix(8, 3, seed=2, name="C")
+            kernel = parse_kernel("ijk,ja,ka->ia", [T, B, C], names=["T", "B", "C"])
+            cached_schedule(kernel, cache=cache)
+        assert cache.stats()["misses"] == 2
+
+    def test_cached_schedule_matches_scheduler(self, ttmc_setup):
+        kernel, _ = ttmc_setup
+        direct = SpTTNScheduler(kernel).schedule()
+        cached = cached_schedule(kernel, cache=PlanCache())
+        assert cached.loop_nest.order == direct.loop_nest.order
+        assert cached.path.terms == direct.path.terms
+
+
+class TestCSFMemo:
+    def test_coo_conversion_is_memoized(self):
+        coo = random_sparse_tensor((8, 7, 6), nnz=30, seed=5)
+        a = csf_for_mode_order(coo, (0, 1, 2))
+        b = csf_for_mode_order(coo, (0, 1, 2))
+        assert a is b
+        c = csf_for_mode_order(coo, (2, 1, 0))
+        assert c is not a and c.mode_order == (2, 1, 0)
+        np.testing.assert_allclose(c.to_coo().to_dense(), coo.to_dense())
+
+    def test_csf_identity_shortcut(self):
+        coo = random_sparse_tensor((8, 7, 6), nnz=30, seed=5)
+        csf = CSFTensor.from_coo(coo, (1, 0, 2))
+        assert csf_for_mode_order(csf, (1, 0, 2)) is csf
+        remode = csf_for_mode_order(csf, (0, 1, 2))
+        assert remode.mode_order == (0, 1, 2)
+        assert csf_for_mode_order(csf, (0, 1, 2)) is remode
