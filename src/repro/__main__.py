@@ -19,6 +19,10 @@ candidates::
     python -m repro tune --spec "ijk,ja,ka->ia" --shape 60,50,40 \
         --nnz 2000 --rank 8 --workers 4 --measure
 
+Show (or clear) the process-wide plan/schedule cache statistics::
+
+    python -m repro cache
+
 List the built-in dataset presets::
 
     python -m repro datasets
@@ -38,6 +42,8 @@ from repro.core.cost_model import ExecutionCost
 from repro.core.expr import parse_kernel
 from repro.core.scheduler import SpTTNScheduler
 from repro.core.search import ExecutionRunner, resolve_workers, sweep_loop_orders
+from repro.engine.executor import ENGINES
+from repro.engine.plan_cache import clear_caches, default_plan_cache, default_schedule_cache
 from repro.frameworks import (
     CTFLikeBaseline,
     SparseLNRLikeBaseline,
@@ -118,7 +124,10 @@ def cmd_run(args) -> int:
     systems = ["spttn"] + [s for s in (args.compare or []) if s in _BASELINES]
     print(f"\n{'system':>12s} {'time [ms]':>12s} {'flops':>14s}")
     for name in systems:
-        baseline = _BASELINES[name]()
+        if name == "spttn":
+            baseline = SpTTNCyclopsBaseline(engine=args.engine)
+        else:
+            baseline = _BASELINES[name]()
         if not baseline.supports(kernel):
             print(f"{name:>12s} {'unsupported':>12s}")
             continue
@@ -199,6 +208,36 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Print (and optionally clear) the process-wide plan/schedule caches.
+
+    The caches are per process: long-running embeddings (apps, services,
+    benchmark harnesses) accumulate entries; a fresh CLI invocation starts
+    empty.  ``--clear`` drops all cached plans and schedules (statistics are
+    kept so hit/miss history stays visible); ``--reset-stats`` zeroes the
+    counters as well.
+    """
+    caches = {
+        "plan": default_plan_cache(),
+        "schedule": default_schedule_cache(),
+    }
+    if args.clear:
+        clear_caches()
+        print("cleared all cached plans and schedules")
+    if args.reset_stats:
+        for cache in caches.values():
+            cache.reset_stats()
+        print("reset cache statistics")
+    print(f"\n{'cache':>10s} {'entries':>8s} {'hits':>8s} {'misses':>8s} {'evictions':>10s}")
+    for name, cache in caches.items():
+        stats = cache.stats()
+        print(
+            f"{name:>10s} {stats['entries']:8d} {stats['hits']:8d} "
+            f"{stats['misses']:8d} {stats['evictions']:10d}"
+        )
+    return 0
+
+
 def cmd_datasets(args) -> int:
     print(f"{'name':>12s} {'order':>6s} {'shape':>30s} {'nnz':>14s}")
     for name, spec in sorted(dataset_presets().items()):
@@ -239,6 +278,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_run.add_argument("--compare", nargs="*", choices=sorted(_BASELINES),
                        help="baselines to compare against")
     p_run.add_argument("--repeats", type=int, default=3)
+    p_run.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for the spttn system (default: REPRO_ENGINE "
+        "environment variable, else 'lowered')",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_tune = sub.add_parser(
@@ -268,6 +312,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_tune.add_argument("--repeats", type=int, default=1,
                         help="timed repetitions per measured candidate")
     p_tune.set_defaults(func=cmd_tune)
+
+    p_cache = sub.add_parser(
+        "cache", help="show (or clear) the process-wide plan/schedule cache stats"
+    )
+    p_cache.add_argument("--clear", action="store_true",
+                         help="drop all cached plans and schedules")
+    p_cache.add_argument("--reset-stats", action="store_true",
+                         help="zero the hit/miss/eviction counters")
+    p_cache.set_defaults(func=cmd_cache)
 
     p_data = sub.add_parser("datasets", help="list the FROSTT dataset presets")
     p_data.set_defaults(func=cmd_datasets)

@@ -12,13 +12,17 @@
 * :mod:`repro.engine.plan_cache` — compiled (array-independent) execution
   plans, the process-wide plan cache, and schedule caching, so repeated
   executions of one structure pay for planning and search once.
+* :mod:`repro.engine.lowering` — the vectorized lowering subsystem: compile
+  any lowerable plan into a flat program of segment-reduction ops and run
+  it with no per-fiber Python dispatch (the default ``"lowered"`` engine).
 * :mod:`repro.engine.reference` — dense ``numpy.einsum`` reference used to
   validate every executor and baseline.
 """
 
 from repro.engine.blas import classify_call, vectorized_contract
 from repro.engine.buffers import BufferSet
-from repro.engine.executor import LoopNestExecutor, execute_kernel
+from repro.engine.executor import ENGINES, LoopNestExecutor, default_engine, execute_kernel
+from repro.engine.lowering import NotLowerable, Program, lower_plan, run_program
 from repro.engine.plan_cache import (
     CompiledPlan,
     PlanCache,
@@ -34,8 +38,14 @@ __all__ = [
     "classify_call",
     "vectorized_contract",
     "BufferSet",
+    "ENGINES",
     "LoopNestExecutor",
+    "NotLowerable",
+    "Program",
+    "default_engine",
     "execute_kernel",
+    "lower_plan",
+    "run_program",
     "CompiledPlan",
     "PlanCache",
     "cached_schedule",

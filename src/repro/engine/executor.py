@@ -22,16 +22,29 @@ substitution pass — so repeated executions of the same structure (ALS/HOOI
 sweeps, autotuning repeats) perform zero per-call symbolic analysis, and the
 execution hot loop performs no per-iteration analysis.
 
-*Execution*: the plan is interpreted; sparse loops walk the CSF tree level
-by level so only stored fibers are visited, dense loops iterate full index
-ranges, and offloaded regions execute one pre-specialized kernel call.
+*Execution* happens in one of two engines, selected by the ``engine``
+parameter (default from the ``REPRO_ENGINE`` environment variable, falling
+back to ``"lowered"``):
 
-Dense outputs and sparse-pattern outputs (TTTP/SDDMM-style) are both
-supported.
+* ``"lowered"`` — the plan is compiled once (cached on the plan) by
+  :mod:`repro.engine.lowering` into a flat program of vectorized array ops
+  (gathers into CSF lane layout, batched einsums, segment reductions along
+  the level pointers) and executed with no per-fiber Python dispatch.
+  Constructs without a vectorized lowering fall back to interpretation
+  automatically, so the switch is always safe.
+* ``"interpret"`` — the plan is interpreted; sparse loops walk the CSF tree
+  level by level so only stored fibers are visited, dense loops iterate
+  full index ranges, and offloaded regions execute one pre-specialized
+  kernel call.
+
+Both engines report identical operation counts; results agree to the usual
+floating-point reassociation of vectorized summation (last-ulp).  Dense
+outputs and sparse-pattern outputs (TTTP/SDDMM-style) are both supported.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -42,7 +55,18 @@ from repro.core.loop_nest import LoopNest, validate_loop_order
 from repro.core.scheduler import Schedule
 from repro.engine.blas import specialize_contraction
 from repro.engine.buffers import BufferSet
+from repro.engine.lowering import lower_plan, run_program
 from repro.engine.plan_cache import (
+    ARRAY as _ARRAY,
+    SLOT_BUFFER as _SLOT_BUFFER,
+    SLOT_DENSE as _SLOT_DENSE,
+    SLOT_OUT as _SLOT_OUT,
+    SPARSE_FIBER as _SPARSE_FIBER,
+    SPARSE_LEAF as _SPARSE_LEAF,
+    SPARSE_LOOKUP as _SPARSE_LOOKUP,
+    SPARSE_OUT_FIBER as _SPARSE_OUT_FIBER,
+    SPARSE_OUT_LEAF as _SPARSE_OUT_LEAF,
+    SPARSE_OUT_LOOKUP as _SPARSE_OUT_LOOKUP,
     CompiledPlan,
     PlanCache,
     cached_schedule,
@@ -58,20 +82,13 @@ from repro.util.validation import require
 
 TensorLike = Union[COOTensor, CSFTensor, DenseTensor, np.ndarray]
 
-# Operand-recipe modes (first element of a recipe tuple).
-_SPARSE_LEAF = 0      # scalar: csf.values[csf_pos]
-_SPARSE_LOOKUP = 1    # scalar: find_leaf over the bound csf-mode values
-_SPARSE_FIBER = 2     # vector: csf.values[lo:hi] of the current node's children
-_ARRAY = 3            # dense array / buffer / dense output slice
-_SPARSE_OUT_LEAF = 4  # accumulate into out_values[csf_pos]
-_SPARSE_OUT_LOOKUP = 5
-_SPARSE_OUT_FIBER = 6  # accumulate into out_values[lo:hi]
+#: Execution engines accepted by :class:`LoopNestExecutor`.
+ENGINES = ("lowered", "interpret")
 
-# Symbolic array slots used in cached (array-independent) recipes; bound to
-# concrete arrays per execution by LoopNestExecutor._bind_steps.
-_SLOT_DENSE = "dense"    # a dense input operand, by name
-_SLOT_BUFFER = "buffer"  # an intermediate buffer, by name
-_SLOT_OUT = "out"        # the dense output array
+
+def default_engine() -> str:
+    """The process default engine: ``REPRO_ENGINE`` or ``"lowered"``."""
+    return os.environ.get("REPRO_ENGINE", "lowered").strip().lower()
 
 
 class LoopNestExecutor:
@@ -101,6 +118,14 @@ class LoopNestExecutor:
         (isolation for tests/benchmarks); ``None``/``False`` disables
         caching entirely, rebuilding the plan on every ``execute`` call (the
         pre-cache per-call-planning behaviour, kept for measurement).
+    engine:
+        ``"lowered"`` executes via the vectorized lowering subsystem when
+        the scheduled nest is lowerable (falling back to interpretation
+        otherwise); ``"interpret"`` always interprets.  ``None`` (default)
+        resolves through :func:`default_engine` (the ``REPRO_ENGINE``
+        environment variable, else ``"lowered"``).  After each
+        ``execute()`` call, :attr:`last_engine` records which engine
+        actually ran.
     """
 
     def __init__(
@@ -110,9 +135,17 @@ class LoopNestExecutor:
         offload: bool = True,
         counter: Optional[OpCounter] = None,
         plan_cache: Union[PlanCache, bool, None] = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.loop_nest = loop_nest
+        resolved = default_engine() if engine is None else engine
+        require(
+            resolved in ENGINES,
+            f"engine must be one of {ENGINES}, got {resolved!r}",
+        )
+        self.engine = resolved
+        self.last_engine: Optional[str] = None
         self.path: ContractionPath = loop_nest.path
         validate_loop_order(kernel, loop_nest.path, loop_nest.order)
         self.orders: Tuple[Tuple[str, ...], ...] = tuple(
@@ -162,12 +195,24 @@ class LoopNestExecutor:
         :meth:`~repro.sptensor.coo.COOTensor.with_values` instead.
         """
         self._prepare(tensors)
-        assert self._plan is not None
-        if self._plan.fused is None:
-            self._plan.fused = self._compile_fused_sweep()
-        if self._plan.fused is not False:
-            self._run_fused_sweep(self._plan.fused)
-        else:
+        plan = self._plan
+        assert plan is not None and self._csf is not None
+        self.last_engine = "interpret"
+        if self.engine == "lowered" and self._csf.nnz > 0:
+            if plan.lowered is None:
+                program = lower_plan(self)
+                plan.lowered = program if program is not None else False
+            if plan.lowered is not False:
+                run_program(
+                    plan.lowered,
+                    self._csf,
+                    self._dense,
+                    self._out_dense,
+                    self._out_values,
+                    self.counter,
+                )
+                self.last_engine = "lowered"
+        if self.last_engine == "interpret":
             positions = tuple(range(len(self.path)))
             self._run(positions, 0, {}, -1, 0)
         if self.kernel.output.is_sparse:
@@ -475,7 +520,7 @@ class LoopNestExecutor:
         return steps
 
     # ------------------------------------------------------------------ #
-    # Fused fiber sweep (whole-nest vectorization for the MTTKRP idiom)
+    # Symbolic site lookup (shared by the interpreter and the lowering pass)
     # ------------------------------------------------------------------ #
     def _site_steps(self, positions: Tuple[int, ...], depth: int, csf_level: int):
         """Symbolic steps of one site, building (and caching) on first use."""
@@ -487,121 +532,6 @@ class LoopNestExecutor:
                 key, self._build_plan(positions, depth, csf_level)
             )
         return steps
-
-    def _compile_fused_sweep(self):
-        """Recognize the fully-fused MTTKRP idiom and lower it to one sweep.
-
-        The idiom (the paper's Listing 3): two CSF loops over the first two
-        storage modes enclosing (a) a fiber offload contracting the leaf
-        mode with a gathered dense matrix into a rank-vector buffer and (b)
-        a Hadamard offload folding that buffer, scaled by a row of a second
-        dense matrix, into one row of the dense output.  When matched, the
-        whole nest is executed with segment reductions over the CSF level
-        arrays (one vectorized pass, SPLATT-style) instead of per-fiber
-        interpretation — same contraction, same operation counts, orders of
-        magnitude fewer Python-level steps.  Returns ``False`` when the nest
-        does not match; the interpreter is used as usual.
-        """
-        kernel = self.kernel
-        if (
-            not self.offload
-            or len(self.path) != 2
-            or len(kernel.csf_mode_order) != 3
-            or kernel.output.is_sparse
-        ):
-            return False
-        positions = tuple(range(len(self.path)))
-        site0 = self._site_steps(positions, 0, -1)
-        if len(site0) != 1 or site0[0][0] != "loop":
-            return False
-        (_, resets0, idx0, group0, use_csf0, _dim0) = site0[0]
-        if resets0 or not use_csf0 or group0 != positions:
-            return False
-        site1 = self._site_steps(positions, 1, 0)
-        if len(site1) != 1 or site1[0][0] != "loop":
-            return False
-        (_, resets1, idx1, group1, use_csf1, _dim1) = site1[0]
-        if resets1 or not use_csf1 or group1 != positions:
-            return False
-        site2 = self._site_steps(positions, 2, 1)
-        if len(site2) != 2 or any(step[0] != "offload" for step in site2):
-            return False
-        (_, resets_a, lhs_a, rhs_a, out_a, _fn_a, blas_a, fiber_a) = site2[0]
-        (_, resets_b, lhs_b, rhs_b, out_b, _fn_b, blas_b, fiber_b) = site2[1]
-        if not fiber_a or fiber_b or resets_b:
-            return False
-        # (a) leaf fiber times a fully-free gathered matrix -> rank vector
-        if lhs_a == (_SPARSE_FIBER,):
-            mat = rhs_a
-        elif rhs_a == (_SPARSE_FIBER,):
-            mat = lhs_a
-        else:
-            return False
-        if (
-            mat[0] != _ARRAY
-            or mat[1][0] != _SLOT_DENSE
-            or mat[2] != (None, None)
-            or mat[3] != 0
-        ):
-            return False
-        if (
-            out_a[0] != _ARRAY
-            or out_a[1][0] != _SLOT_BUFFER
-            or out_a[2] != (None,)
-        ):
-            return False
-        buffer_slot = out_a[1]
-        if resets_a != [(buffer_slot, (None,))]:
-            return False
-        # (b) buffer (Hadamard) a row of a dense matrix -> one output row
-        sides = [lhs_b, rhs_b]
-        buf_sides = [
-            s
-            for s in sides
-            if s[0] == _ARRAY and s[1] == buffer_slot and s[2] == (None,)
-        ]
-        row_sides = [
-            s
-            for s in sides
-            if s[0] == _ARRAY
-            and s[1][0] == _SLOT_DENSE
-            and s[2] == (idx1, None)
-            and s[3] is None
-        ]
-        if len(buf_sides) != 1 or len(row_sides) != 1:
-            return False
-        if out_b[0] != _ARRAY or out_b[2] != (idx0, None) or out_b[3] is not None:
-            return False
-        return (mat[1], row_sides[0][1], out_b[1], blas_a, blas_b)
-
-    def _run_fused_sweep(self, spec) -> None:
-        """Execute a matched nest as segment reductions over the CSF levels.
-
-        Counters record the same flop totals, logical kernel-call counts and
-        buffer resets as the interpreted nest would.
-        """
-        mat_slot, row_slot, out_slot, blas_a, blas_b = spec
-        csf = self._csf
-        assert csf is not None
-        if csf.nnz == 0:
-            return
-        counter = self.counter
-        mat = self._slot_array(mat_slot)       # (leaf-mode dim, rank)
-        rows = self._slot_array(row_slot)      # (middle-mode dim, rank)
-        out = self._slot_array(out_slot)       # (root-mode dim, rank)
-        # rank vector per leaf fiber: segment-reduce vals * mat[leaf ids]
-        expanded = csf.values[:, None] * mat.take(csf.fids[2], axis=0)
-        per_fiber = np.add.reduceat(expanded, csf.fptr[1][:-1], axis=0)
-        # scale by the middle-mode rows, fold fibers into root-mode rows
-        weighted = rows.take(csf.fids[1], axis=0) * per_fiber
-        out[csf.fids[0]] += np.add.reduceat(weighted, csf.fptr[0][:-1], axis=0)
-        n_fibers = csf.fids[1].shape[0]
-        rank = mat.shape[1]
-        counter.buffer_resets += n_fibers
-        counter.flops += 2 * csf.nnz * rank + 2 * n_fibers * rank
-        calls = counter.kernel_calls
-        calls[blas_a] = calls.get(blas_a, 0) + n_fibers
-        calls[blas_b] = calls.get(blas_b, 0) + n_fibers
 
     # ------------------------------------------------------------------ #
     # Plan binding (per execution: substitute concrete arrays for slots)
@@ -779,6 +709,7 @@ def execute_kernel(
     buffer_dim_bound: Optional[int] = 2,
     offload: bool = True,
     counter: Optional[OpCounter] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[Union[np.ndarray, COOTensor], Schedule]:
     """Parse, schedule and execute an SpTTN kernel in one call.
 
@@ -792,7 +723,7 @@ def execute_kernel(
     kernel = parse_kernel(spec, tensors, names=names)
     schedule = cached_schedule(kernel, buffer_dim_bound=buffer_dim_bound)
     executor = LoopNestExecutor(
-        kernel, schedule.loop_nest, offload=offload, counter=counter
+        kernel, schedule.loop_nest, offload=offload, counter=counter, engine=engine
     )
     operand_tensors = {
         op.name: tensor for op, tensor in zip(kernel.operands, tensors)

@@ -1,0 +1,29 @@
+"""General vectorized lowering: scheduled loop nests as flat segment-reduction kernels.
+
+This subsystem compiles any lowerable scheduled loop nest (a
+:class:`~repro.engine.plan_cache.CompiledPlan`'s symbolic site steps) into a
+small typed IR of array-level ops — dense-operand gathers into CSF lane
+layout, batched einsum contractions, ``np.add.reduceat`` segment reductions
+along the level pointers, scatter-accumulates into the output — and executes
+that IR with no per-fiber Python dispatch.  It generalizes the hand-fused
+MTTKRP sweep into one compiler: MTTKRP, TTMc, TTTc, TTTP and arbitrary
+SpTTN expressions all take the vectorized path whenever their scheduled
+nest lowers, with op-counter accounting identical to the interpreter and a
+clean fallback to interpretation for anything not lowerable yet.
+
+* :mod:`repro.engine.lowering.ir` — the typed op set and symbolic counts;
+* :mod:`repro.engine.lowering.lower` — the lowering pass over plan sites;
+* :mod:`repro.engine.lowering.vm` — the IR executor.
+"""
+
+from repro.engine.lowering.ir import Charge, Program
+from repro.engine.lowering.lower import NotLowerable, lower_plan
+from repro.engine.lowering.vm import run_program
+
+__all__ = [
+    "Charge",
+    "NotLowerable",
+    "Program",
+    "lower_plan",
+    "run_program",
+]

@@ -1,0 +1,208 @@
+"""Executor for lowered programs: flat array ops, no per-fiber dispatch.
+
+The VM binds a :class:`~repro.engine.lowering.ir.Program` to one concrete
+execution (CSF tensor, dense operands, freshly allocated output) and runs
+its straight-line op list.  All loop structure was compiled away: sparse
+loops became the lane axis over CSF level arrays, dense loops became batch
+axes inside the einsum calls, and buffer resets became fresh registers.
+Counter updates replay the interpreter's accounting exactly (same flop
+totals, kernel-call classifications and buffer-reset counts) by evaluating
+each op's symbolic :data:`~repro.engine.lowering.ir.Count` terms against the
+bound tensor's level sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.engine.lowering import ir
+from repro.sptensor.csf import CSFTensor
+from repro.util.counters import OpCounter
+
+
+class _Frame:
+    """Per-execution state: the bound arrays plus memoized lane id maps."""
+
+    __slots__ = ("csf", "dense", "out_dense", "out_values", "counter", "_ids")
+
+    def __init__(
+        self,
+        csf: CSFTensor,
+        dense: Mapping[str, np.ndarray],
+        out_dense: Optional[np.ndarray],
+        out_values: Optional[np.ndarray],
+        counter: OpCounter,
+    ) -> None:
+        self.csf = csf
+        self.dense = dense
+        self.out_dense = out_dense
+        self.out_values = out_values
+        self.counter = counter
+        self._ids: Dict[tuple, np.ndarray] = {}
+
+    def lanes(self, level: int) -> int:
+        return 1 if level < 0 else self.csf.nnz_at_level(level)
+
+    def ids(self, level: int, at_level: int) -> np.ndarray:
+        """Index value of each lane's level-*level* ancestor, at *at_level*."""
+        key = (level, at_level)
+        cached = self._ids.get(key)
+        if cached is None:
+            arr = self.csf.fids[level]
+            for lvl in range(level, at_level):
+                arr = np.repeat(arr, np.diff(self.csf.fptr[lvl]))
+            self._ids[key] = cached = arr
+        return cached
+
+    def charge(self, charge: ir.Charge) -> None:
+        counter = self.counter
+        for factor, level in charge.flops:
+            counter.flops += factor * self.lanes(level)
+        for name, (factor, level) in charge.calls:
+            counter.add_call(name, factor * self.lanes(level))
+        for factor, level in charge.resets:
+            counter.buffer_resets += factor * self.lanes(level)
+
+
+def _broadcast_index(frame: _Frame, axes, level: int, shape) -> tuple:
+    """One broadcast index array per target axis, laid out (lane, kept axes
+    in source order): gathered axes get the lane's bound ancestor ids, kept
+    axes a full ``arange``.  Shared by the gather read and the scatter
+    write so both sides agree on the lane layout."""
+    n = frame.lanes(level)
+    n_gather = sum(1 for kind, _ in axes if kind == ir.GATHER)
+    rank = 1 + (len(axes) - n_gather)
+    idx = []
+    kept = 0
+    for axis, (kind, arg) in enumerate(axes):
+        template = [1] * rank
+        if kind == ir.GATHER:
+            template[0] = n
+            idx.append(frame.ids(arg, level).reshape(template))
+        else:
+            dim = shape[axis]
+            template[1 + kept] = dim
+            idx.append(np.arange(dim).reshape(template))
+            kept += 1
+    return tuple(idx)
+
+
+def _read_array(frame: _Frame, op: ir.ReadArray) -> np.ndarray:
+    arr = frame.dense[op.slot[1]]
+    gathers = [
+        (axis, arg) for axis, (kind, arg) in enumerate(op.axes) if kind == ir.GATHER
+    ]
+    if not gathers:
+        return arr
+    if len(gathers) == 1:
+        axis, bind_level = gathers[0]
+        view = np.take(arr, frame.ids(bind_level, op.level), axis=axis)
+        return np.moveaxis(view, axis, 0) if axis else view
+    return arr[_broadcast_index(frame, op.axes, op.level, arr.shape)]
+
+
+def _segment_reduce(
+    frame: _Frame, value: np.ndarray, from_level: int, to_level: int
+) -> np.ndarray:
+    for lvl in range(from_level - 1, to_level - 1, -1):
+        value = np.add.reduceat(value, frame.csf.fptr[lvl][:-1], axis=0)
+    return value
+
+
+def _lane_expand(
+    frame: _Frame, value: np.ndarray, from_level: int, to_level: int
+) -> np.ndarray:
+    for lvl in range(from_level, to_level):
+        value = np.repeat(value, np.diff(frame.csf.fptr[lvl]), axis=0)
+    return value
+
+
+def _scatter_lanes(frame: _Frame, op: ir.ScatterLanes, src: np.ndarray) -> np.ndarray:
+    ids = frame.csf.fids[op.level]
+    if op.level == 0:
+        out = np.zeros((op.dim,) + src.shape[1:], dtype=src.dtype)
+        out[ids] = src
+        return out
+    parents = np.repeat(
+        np.arange(frame.lanes(op.level - 1)), np.diff(frame.csf.fptr[op.level - 1])
+    )
+    out = np.zeros(
+        (frame.lanes(op.level - 1), op.dim) + src.shape[1:], dtype=src.dtype
+    )
+    out[parents, ids] = src
+    return out
+
+
+def _gather_axis(frame: _Frame, op: ir.GatherAxis, src: np.ndarray) -> np.ndarray:
+    ids = frame.ids(op.level, op.at_level)
+    if not op.src_has_lane:
+        view = np.take(src, ids, axis=op.axis)
+        return np.moveaxis(view, op.axis, 0) if op.axis else view
+    shape = [1] * src.ndim
+    shape[0] = ids.shape[0]
+    picked = np.take_along_axis(src, ids.reshape(shape), axis=op.axis)
+    return np.squeeze(picked, axis=op.axis)
+
+
+def _scatter_add(frame: _Frame, op: ir.ScatterAdd, src: np.ndarray) -> None:
+    out = frame.out_dense
+    assert out is not None
+    gathers = [(kind, arg) for kind, arg in op.axes if kind == ir.GATHER]
+    if not gathers:
+        out[...] += src
+        return
+    if op.direct:
+        idx = tuple(
+            frame.ids(arg, op.level) for kind, arg in op.axes[: len(gathers)]
+        )
+        out[idx] += src
+        return
+    # General case: unbuffered scatter with one broadcast index per output
+    # axis (gathered axes may repeat ids, so += would drop updates).
+    np.add.at(out, _broadcast_index(frame, op.axes, op.level, out.shape), src)
+
+
+def run_program(
+    program: ir.Program,
+    csf: CSFTensor,
+    dense: Mapping[str, np.ndarray],
+    out_dense: Optional[np.ndarray],
+    out_values: Optional[np.ndarray],
+    counter: OpCounter,
+) -> None:
+    """Execute one lowered program against concrete arrays.
+
+    The caller guarantees ``csf.nnz > 0`` (an empty tensor runs zero
+    interpreted iterations, which the executor handles without the VM).
+    """
+    frame = _Frame(csf, dense, out_dense, out_values, counter)
+    regs: list = [None] * program.n_regs
+    for op in program.ops:
+        if isinstance(op, ir.Contract):
+            regs[op.dst] = np.einsum(op.spec, *(regs[s] for s in op.srcs))
+            frame.charge(op.charge)
+        elif isinstance(op, ir.ReadArray):
+            regs[op.dst] = _read_array(frame, op)
+        elif isinstance(op, ir.LoadValues):
+            regs[op.dst] = csf.values
+        elif isinstance(op, ir.SegmentReduce):
+            regs[op.dst] = _segment_reduce(frame, regs[op.src], op.from_level, op.to_level)
+        elif isinstance(op, ir.LaneExpand):
+            regs[op.dst] = _lane_expand(frame, regs[op.src], op.from_level, op.to_level)
+        elif isinstance(op, ir.LaneSum):
+            regs[op.dst] = regs[op.src].sum(axis=0)
+        elif isinstance(op, ir.ScatterLanes):
+            regs[op.dst] = _scatter_lanes(frame, op, regs[op.src])
+        elif isinstance(op, ir.GatherAxis):
+            regs[op.dst] = _gather_axis(frame, op, regs[op.src])
+        elif isinstance(op, ir.ScatterAdd):
+            _scatter_add(frame, op, regs[op.src])
+        elif isinstance(op, ir.AccumulateLeaf):
+            assert out_values is not None
+            out_values += regs[op.src]
+        elif isinstance(op, ir.Note):
+            frame.charge(op.charge)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown lowered op {op!r}")

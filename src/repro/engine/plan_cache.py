@@ -48,6 +48,26 @@ PlanKey = Tuple[Hashable, ...]
 #: A recursion site of the fused loop nest: (term positions, loop depth).
 SiteKey = Tuple[Tuple[int, ...], int]
 
+# --------------------------------------------------------------------------- #
+# Recipe encoding shared by plan producers and consumers
+# --------------------------------------------------------------------------- #
+# Operand-recipe modes (first element of a recipe tuple).  Plans store these
+# symbolic recipes; both the interpreter (repro.engine.executor) and the
+# vectorized lowering pass (repro.engine.lowering) decode them.
+SPARSE_LEAF = 0      # scalar: csf.values[csf_pos]
+SPARSE_LOOKUP = 1    # scalar: find_leaf over the bound csf-mode values
+SPARSE_FIBER = 2     # vector: csf.values[lo:hi] of the current node's children
+ARRAY = 3            # dense array / buffer / dense output slice
+SPARSE_OUT_LEAF = 4  # accumulate into out_values[csf_pos]
+SPARSE_OUT_LOOKUP = 5
+SPARSE_OUT_FIBER = 6  # accumulate into out_values[lo:hi]
+
+# Symbolic array slots used in cached (array-independent) recipes; bound to
+# concrete arrays (or registers) per execution.
+SLOT_DENSE = "dense"    # a dense input operand, by name
+SLOT_BUFFER = "buffer"  # an intermediate buffer, by name
+SLOT_OUT = "out"        # the dense output array
+
 
 # --------------------------------------------------------------------------- #
 # Structural keys
@@ -138,17 +158,19 @@ class CompiledPlan:
     to concrete arrays per execution.  Sites are discovered lazily during
     the first execution and reused verbatim afterwards.
 
-    ``fused`` records the whole-nest vectorization decision (the executor's
-    fused fiber sweep): ``None`` until the first execution checks the nest
-    shape, then either ``False`` or the symbolic sweep specification.
+    ``lowered`` records the whole-nest vectorization decision (the general
+    lowering of :mod:`repro.engine.lowering`): ``None`` until the first
+    execution attempts the lowering pass, then either ``False`` (not
+    lowerable — the interpreter is used) or the compiled
+    :class:`~repro.engine.lowering.ir.Program`.
     """
 
-    __slots__ = ("key", "sites", "fused")
+    __slots__ = ("key", "sites", "lowered")
 
     def __init__(self, key: PlanKey) -> None:
         self.key = key
         self.sites: Dict[SiteKey, list] = {}
-        self.fused: object = None
+        self.lowered: object = None
 
     @property
     def n_sites(self) -> int:

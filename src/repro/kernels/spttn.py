@@ -74,6 +74,7 @@ def run_kernel(
     buffer_dim_bound: Optional[int] = 2,
     counter: Optional[OpCounter] = None,
     offload: bool = True,
+    engine: Optional[str] = None,
 ) -> Tuple[Union[np.ndarray, COOTensor], Schedule]:
     """Schedule (unless given) and execute a kernel; return (output, schedule)."""
     kernel, mapping = build_kernel(spec, tensors, names=names)
@@ -81,7 +82,7 @@ def run_kernel(
         scheduler = SpTTNScheduler(kernel, buffer_dim_bound=buffer_dim_bound)
         schedule = scheduler.schedule()
     executor = LoopNestExecutor(
-        kernel, schedule.loop_nest, offload=offload, counter=counter
+        kernel, schedule.loop_nest, offload=offload, counter=counter, engine=engine
     )
     return executor.execute(mapping), schedule
 

@@ -11,7 +11,23 @@ import pytest
 
 import repro
 from repro.core.expr import parse_kernel
+from repro.engine.plan_cache import clear_caches
 from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Drop the process-wide plan/schedule caches around every test.
+
+    The caches are keyed structurally, so leaking a plan built by one test
+    into another is normally harmless — but a test that mutates executor
+    internals (or asserts on cold-start behaviour) must not observe state
+    from an unrelated test.  Clearing on both sides keeps every test
+    hermetic.
+    """
+    clear_caches()
+    yield
+    clear_caches()
 
 
 @pytest.fixture
