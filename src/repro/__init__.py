@@ -43,9 +43,16 @@ from repro.core import (
 from repro.engine import (
     LoopNestExecutor,
     PlanCache,
+    cached_executor,
     cached_schedule,
     default_plan_cache,
     execute_kernel,
+)
+from repro.runtime import (
+    WorkerPool,
+    parallel_map,
+    resolve_workers,
+    shutdown_pool,
 )
 from repro.sptensor import (
     COOTensor,
@@ -89,9 +96,14 @@ __all__ = [
     "sweep_loop_orders",
     "LoopNestExecutor",
     "PlanCache",
+    "cached_executor",
     "cached_schedule",
     "default_plan_cache",
     "execute_kernel",
+    "WorkerPool",
+    "parallel_map",
+    "resolve_workers",
+    "shutdown_pool",
     "contract",
     "COOTensor",
     "CSFTensor",

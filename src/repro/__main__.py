@@ -19,6 +19,12 @@ candidates::
     python -m repro tune --spec "ijk,ja,ka->ia" --shape 60,50,40 \
         --nnz 2000 --rank 8 --workers 4 --measure
 
+Execute the kernel over virtual ranks — rank-parallel on the shared worker
+pool — and/or sweep the strong-scaling simulator::
+
+    python -m repro dist --spec "ijk,ja,ka->ia" --shape 120,120,120 \
+        --nnz 40000 --procs 1,2,4,8 --workers 4 --mode both
+
 Show (or clear) the process-wide plan/schedule cache statistics::
 
     python -m repro cache
@@ -208,6 +214,85 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_dist(args) -> int:
+    """Distributed virtual-rank execution and strong-scaling simulation.
+
+    ``--mode execute`` measures real rank-parallel executions of every
+    process count in ``--procs`` on the shared worker pool (``--workers``,
+    defaulting to the ``REPRO_WORKERS`` environment variable the runtime
+    layer shares; ``0`` = serial virtual ranks, ``-1`` = one worker per
+    CPU); ``--mode simulate`` sweeps the alpha-beta simulator instead, and
+    ``--mode both`` prints the measured and predicted curves side by side.
+    """
+    from repro.distributed import DistributedSpTTN, measured_scaling, strong_scaling
+
+    tensor = _load_sparse(args)
+    operands = _build_operands(args.spec, tensor, args.rank, args.seed)
+    kernel = parse_kernel(args.spec, operands)
+    mapping = {op.name: t for op, t in zip(kernel.operands, operands)}
+    procs = [int(s) for s in args.procs.split(",") if s.strip()]
+    if not procs:
+        raise SystemExit("--procs must name at least one process count")
+    workers = resolve_workers(args.workers)
+
+    if args.mode in ("execute", "both"):
+        rows = measured_scaling(
+            kernel,
+            mapping,
+            procs,
+            kernel_name="dist",
+            workers=args.workers,
+            repeats=args.repeats,
+            engine=args.engine,
+            simulate=args.mode == "both",
+        )
+        print(
+            f"\nrank-parallel execution: {workers} worker(s), "
+            f"{args.repeats} repeat(s) per count"
+        )
+        header = f"{'procs':>6s} {'grid':>10s} {'measured [ms]':>14s} {'speedup':>8s}"
+        if args.mode == "both":
+            header += f" {'predicted [ms]':>15s}"
+        print(header)
+        for row in rows:
+            line = (
+                f"{row['processes']:6d} {row['grid']:>10s} "
+                f"{row['measured_s'] * 1e3:14.2f} {row['speedup']:8.2f}"
+            )
+            if args.mode == "both":
+                line += f" {row['predicted_s'] * 1e3:15.3f}"
+            print(line)
+        if args.check:
+            # exactness diagnostic: the reduced multi-rank output must
+            # match a single rank (two extra executions; --no-check skips
+            # them on large workloads)
+            dist = DistributedSpTTN(
+                kernel, mapping, engine=args.engine, workers=args.workers
+            )
+            single = dist.execute(1, workers=0)
+            multi = dist.execute(procs[-1])
+            if kernel.output.is_sparse:
+                delta = float(np.max(np.abs(single.values - multi.values))) if single.nnz else 0.0
+            else:
+                delta = float(np.max(np.abs(np.asarray(single) - np.asarray(multi))))
+            print(f"\nmax |Δ| between 1-rank and {procs[-1]}-rank outputs: {delta:.3e}")
+    if args.mode == "simulate":
+        result = strong_scaling(kernel, mapping, procs, kernel_name="dist")
+        print(f"\nsimulated strong scaling ({len(procs)} process count(s))")
+        print(
+            f"{'procs':>6s} {'grid':>10s} {'total [ms]':>12s} {'compute':>9s} "
+            f"{'comm':>9s} {'eff':>6s} {'imbalance':>10s}"
+        )
+        for row in result.as_rows():
+            print(
+                f"{row['processes']:6d} {row['grid']:>10s} "
+                f"{row['time_s'] * 1e3:12.3f} {row['compute_s'] * 1e3:9.3f} "
+                f"{row['comm_s'] * 1e3:9.3f} {row['efficiency']:6.2f} "
+                f"{row['load_imbalance']:10.2f}"
+            )
+    return 0
+
+
 def cmd_cache(args) -> int:
     """Print (and optionally clear) the process-wide plan/schedule caches.
 
@@ -292,7 +377,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     add_common(p_tune)
     p_tune.add_argument(
         "--workers", type=int, default=None,
-        help="parallel sweep workers (-1 = one per CPU, default serial)",
+        help="parallel sweep workers (-1 = one per CPU; default: the "
+        "REPRO_WORKERS environment variable, else serial)",
     )
     p_tune.add_argument(
         "--max-candidates", type=int, default=None,
@@ -312,6 +398,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_tune.add_argument("--repeats", type=int, default=1,
                         help="timed repetitions per measured candidate")
     p_tune.set_defaults(func=cmd_tune)
+
+    p_dist = sub.add_parser(
+        "dist",
+        help="distributed virtual-rank execution (rank-parallel) / scaling sweep",
+    )
+    add_common(p_dist)
+    p_dist.add_argument(
+        "--procs", default="1,2,4,8",
+        help="comma-separated virtual process counts (default 1,2,4,8)",
+    )
+    p_dist.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for rank-parallel execution (default: the "
+        "REPRO_WORKERS environment variable; 0 = serial, -1 = one per CPU)",
+    )
+    p_dist.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for the per-rank executors (default: "
+        "REPRO_ENGINE environment variable, else 'lowered')",
+    )
+    p_dist.add_argument(
+        "--mode", choices=("execute", "simulate", "both"), default="execute",
+        help="measure real rank-parallel executions, sweep the alpha-beta "
+        "simulator, or both (default execute)",
+    )
+    p_dist.add_argument("--repeats", type=int, default=1,
+                        help="timed repetitions per process count")
+    p_dist.add_argument(
+        "--no-check", dest="check", action="store_false",
+        help="skip the 1-rank vs n-rank exactness diagnostic "
+        "(two extra executions) after the execute sweep",
+    )
+    p_dist.set_defaults(func=cmd_dist, check=True)
 
     p_cache = sub.add_parser(
         "cache", help="show (or clear) the process-wide plan/schedule cache stats"

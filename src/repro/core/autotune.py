@@ -7,13 +7,14 @@ sampled) set of loop nests, and is what the Figure 10 reproduction uses to
 place the cost-model-picked loop order within the measured distribution of
 random loop orders.
 
-Measurement is delegated to :mod:`repro.core.search`, which can fan the
-sweep across ``multiprocessing`` workers (pass ``workers``) and ranks
-candidates with the deterministic ``(seconds, enumeration index)``
-tie-break, so a parallel sweep with a deterministic runner returns exactly
-the serial sweep's argmin.  Parallel measurement requires a picklable
-runner, e.g. :class:`repro.core.search.ExecutionRunner`; closure runners
-fall back to the (identical) serial path.
+Measurement is delegated to :mod:`repro.core.search`, which fans the sweep
+over the shared persistent worker pool of :mod:`repro.runtime` (pass
+``workers``; ``None`` defers to the ``REPRO_WORKERS`` environment variable)
+and ranks candidates with the deterministic ``(seconds, enumeration
+index)`` tie-break, so a parallel sweep with a deterministic runner returns
+exactly the serial sweep's argmin.  Parallel measurement requires a
+picklable runner, e.g. :class:`repro.core.search.ExecutionRunner`; closure
+runners fall back to the (identical) serial path.
 """
 
 from __future__ import annotations
@@ -74,9 +75,10 @@ class Autotuner:
     repeats:
         Number of timed repetitions per candidate; the minimum is recorded.
     workers:
-        Default worker count for :meth:`tune` (``None``/``0`` → serial,
-        ``-1`` → one per CPU).  Parallel measurement needs a picklable
-        runner; otherwise the sweep silently runs serially.
+        Default worker count for :meth:`tune` (``None`` → the
+        ``REPRO_WORKERS`` environment default, ``0`` → serial, ``-1`` → one
+        per CPU).  Parallel measurement needs a picklable runner; otherwise
+        the sweep silently runs serially.
     """
 
     def __init__(

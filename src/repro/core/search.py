@@ -15,19 +15,22 @@ embarrassingly parallel, so this module fans them out across
 
 Evaluators are small picklable callables (no closures), so they survive both
 ``fork`` and ``spawn`` start methods; anything that cannot be pickled makes
-:func:`parallel_map` fall back to the serial path, which produces identical
-results.
+:func:`~repro.runtime.parallel_map` fall back to the serial path, which
+produces identical results.
+
+The pool itself lives in :mod:`repro.runtime` — a persistent process-wide
+worker pool shared with the distributed runtime, defaulting its worker
+count to the ``REPRO_WORKERS`` environment variable.  ``parallel_map`` and
+``resolve_workers`` are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import os
-import pickle
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Set, TypeVar
+from typing import Callable, List, Mapping, Optional, Sequence, Set
 
 from repro.core.contraction_path import (
     ContractionPath,
@@ -37,55 +40,8 @@ from repro.core.cost_model import ExecutionCost, TreeSeparableCost, evaluate_cos
 from repro.core.enumeration import enumerate_loop_orders
 from repro.core.expr import SpTTNKernel
 from repro.core.loop_nest import LoopNest
+from repro.runtime import parallel_map, resolve_workers  # noqa: F401 - re-export
 from repro.util.validation import require
-
-T = TypeVar("T")
-R = TypeVar("R")
-
-
-# --------------------------------------------------------------------------- #
-# Worker-pool plumbing
-# --------------------------------------------------------------------------- #
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker-count request: ``None``/``0`` → serial, ``-1`` →
-    one worker per CPU, otherwise the requested count."""
-    if workers is None or workers == 0:
-        return 1
-    if workers < 0:
-        return max(1, os.cpu_count() or 1)
-    return int(workers)
-
-
-def parallel_map(
-    fn: Callable[[T], R],
-    items: Iterable[T],
-    workers: Optional[int] = None,
-    chunksize: Optional[int] = None,
-) -> List[R]:
-    """Order-preserving map over *items*, optionally across processes.
-
-    Results are identical to ``[fn(x) for x in items]`` regardless of the
-    worker count.  The serial path is used when ``workers`` resolves to one,
-    when there are fewer than two items, or when *fn* cannot be pickled
-    (e.g. a closure runner) — parallelism is an optimization, never a
-    behaviour change.
-    """
-    items = list(items)
-    n_workers = min(resolve_workers(workers), len(items))
-    if n_workers <= 1:
-        return [fn(x) for x in items]
-    try:
-        pickle.dumps(fn)
-    except Exception:
-        return [fn(x) for x in items]
-    if chunksize is None:
-        chunksize = max(1, (len(items) + 4 * n_workers - 1) // (4 * n_workers))
-    ctx = multiprocessing.get_context()
-    try:
-        with ctx.Pool(processes=n_workers) as pool:
-            return pool.map(fn, items, chunksize=chunksize)
-    except (OSError, pickle.PicklingError):
-        return [fn(x) for x in items]
 
 
 def nests_equal(a: LoopNest, b: LoopNest) -> bool:
@@ -160,9 +116,11 @@ class ExecutionRunner:
     """Picklable autotune runner: executes a kernel on fixed tensors.
 
     Closures over executors cannot cross process boundaries; this runner
-    carries the kernel and concrete operands instead and builds the executor
-    per call (plans come from each worker's plan cache, so repeated
-    measurement of one candidate only plans once per process).
+    carries the kernel and concrete operands instead and resolves the
+    executor per call through
+    :func:`~repro.engine.plan_cache.cached_executor`, so repeated
+    measurement of one candidate reuses one executor (and its compiled
+    plan) per process.
     """
 
     def __init__(
@@ -177,9 +135,9 @@ class ExecutionRunner:
 
     def __call__(self, nest: LoopNest):
         # Imported here: repro.engine depends on repro.core, not vice versa.
-        from repro.engine.executor import LoopNestExecutor
+        from repro.engine.plan_cache import cached_executor
 
-        executor = LoopNestExecutor(self.kernel, nest, offload=self.offload)
+        executor = cached_executor(self.kernel, nest, offload=self.offload)
         return executor.execute(self.tensors)
 
 

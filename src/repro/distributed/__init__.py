@@ -15,12 +15,15 @@ No MPI implementation is available in this environment, so this subpackage
   nonzero counts and communication volumes;
 * :mod:`repro.distributed.comm_model` — an alpha-beta (latency/bandwidth)
   model of the collectives (broadcast, reduce, all-reduce);
-* :mod:`repro.distributed.runtime` — a virtual-rank runtime that can either
-  *execute* every rank's local kernel sequentially and reduce the results
-  (bitwise-correct, used by the tests) or *estimate* the parallel runtime
+* :mod:`repro.distributed.runtime` — a virtual-rank runtime that *executes*
+  every rank's local kernel — serially or rank-parallel on the shared
+  worker pool of :mod:`repro.runtime`, with dense operands broadcast
+  through shared memory and partials combined by a deterministic reduction
+  tree (bit-identical across tiers) — or *estimates* the parallel runtime
   from the measured single-rank time, the load balance and the
   communication model (used by the strong-scaling benchmarks);
-* :mod:`repro.distributed.scaling` — strong-scaling sweeps (Figure 8).
+* :mod:`repro.distributed.scaling` — strong-scaling sweeps (Figure 8),
+  simulated and measured.
 """
 
 from repro.distributed.grid import ProcessorGrid, factor_processors
@@ -31,7 +34,11 @@ from repro.distributed.distribution import (
 )
 from repro.distributed.comm_model import AlphaBetaModel, CommunicationEstimate
 from repro.distributed.runtime import DistributedSpTTN, SimulatedRun
-from repro.distributed.scaling import StrongScalingResult, strong_scaling
+from repro.distributed.scaling import (
+    StrongScalingResult,
+    measured_scaling,
+    strong_scaling,
+)
 
 __all__ = [
     "ProcessorGrid",
@@ -44,5 +51,6 @@ __all__ = [
     "DistributedSpTTN",
     "SimulatedRun",
     "StrongScalingResult",
+    "measured_scaling",
     "strong_scaling",
 ]

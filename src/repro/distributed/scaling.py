@@ -1,4 +1,11 @@
-"""Strong-scaling sweeps (the Figure 8 experiments)."""
+"""Strong-scaling sweeps (the Figure 8 experiments).
+
+:func:`strong_scaling` produces the *simulated* curves (alpha-beta model on
+top of one measured single-rank execution); :func:`measured_scaling` runs
+the virtual ranks for real on the shared worker pool and reports measured
+wall-clock times, so the simulator's predictions can be overlaid against an
+actually-parallel execution of the same workload.
+"""
 
 from __future__ import annotations
 
@@ -83,3 +90,52 @@ def strong_scaling(
     for p in process_counts:
         result.runs.append(runtime.simulate(int(p), measure=measure))
     return result
+
+
+def measured_scaling(
+    kernel: SpTTNKernel,
+    tensors: Mapping[str, TensorLike],
+    process_counts: Sequence[int],
+    kernel_name: str = "kernel",
+    workers: Optional[int] = None,
+    repeats: int = 1,
+    schedule: Optional[Schedule] = None,
+    engine: Optional[str] = None,
+    simulate: bool = True,
+) -> List[Dict[str, object]]:
+    """Measure rank-parallel :meth:`DistributedSpTTN.execute` per process count.
+
+    Returns one row per process count with the measured wall-clock seconds
+    (min over *repeats*, after an untimed warmup that absorbs plan
+    compilation and pool start-up), the speedup over the first count and —
+    with ``simulate=True`` — the simulator's prediction for the same count,
+    so measured and predicted curves can be overlaid (the Figure 8 check).
+    """
+    require(len(process_counts) > 0, "need at least one process count")
+    runtime = DistributedSpTTN(
+        kernel=kernel,
+        tensors=tensors,
+        schedule=schedule,
+        engine=engine,
+        workers=workers,
+    )
+    rows: List[Dict[str, object]] = []
+    base: Optional[float] = None
+    for p in process_counts:
+        seconds = runtime.measure_execute(int(p), workers=workers, repeats=repeats)
+        if base is None:
+            base = seconds
+        row: Dict[str, object] = {
+            "kernel": kernel_name,
+            "processes": int(p),
+            "grid": "x".join(str(d) for d in runtime.grid_for(int(p)).dims),
+            "measured_s": seconds,
+            "speedup": (base / seconds) if seconds > 0 else float("inf"),
+        }
+        if simulate:
+            run = runtime.simulate(int(p))
+            row["predicted_s"] = run.total_seconds
+            row["predicted_compute_s"] = run.compute_seconds
+            row["predicted_comm_s"] = run.communication_seconds
+        rows.append(row)
+    return rows

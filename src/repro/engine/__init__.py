@@ -26,8 +26,10 @@ from repro.engine.lowering import NotLowerable, Program, lower_plan, run_program
 from repro.engine.plan_cache import (
     CompiledPlan,
     PlanCache,
+    cached_executor,
     cached_schedule,
     clear_caches,
+    default_executor_cache,
     default_plan_cache,
     default_schedule_cache,
     plan_key,
@@ -48,8 +50,10 @@ __all__ = [
     "run_program",
     "CompiledPlan",
     "PlanCache",
+    "cached_executor",
     "cached_schedule",
     "clear_caches",
+    "default_executor_cache",
     "default_plan_cache",
     "default_schedule_cache",
     "plan_key",

@@ -216,9 +216,12 @@ class LoopNestExecutor:
             positions = tuple(range(len(self.path)))
             self._run(positions, 0, {}, -1, 0)
         if self.kernel.output.is_sparse:
-            return self._sparse_output()
-        assert self._out_dense is not None
-        return self._out_dense
+            result: Union[np.ndarray, COOTensor] = self._sparse_output()
+        else:
+            assert self._out_dense is not None
+            result = self._out_dense
+        self._release_bindings()
+        return result
 
     # ------------------------------------------------------------------ #
     # Preparation
@@ -282,6 +285,24 @@ class LoopNestExecutor:
             self._plan = plan
         else:
             self._plan = CompiledPlan(key)
+        self._bound_sites = {}
+
+    def _release_bindings(self) -> None:
+        """Drop the per-execution array bindings after ``execute()``.
+
+        Everything here is rebuilt (cheaply — the CSF conversion is
+        memoized per tensor object, plan binding is a substitution pass) by
+        the next ``_prepare``; releasing it matters for executors that
+        outlive their operands, notably the process-wide instances of
+        :func:`~repro.engine.plan_cache.cached_executor`, which would
+        otherwise pin their last operands and output for the life of the
+        cache entry.
+        """
+        self._csf = None
+        self._dense = {}
+        self._buffers = None
+        self._out_dense = None
+        self._out_values = None
         self._bound_sites = {}
 
     def _sparse_output(self) -> COOTensor:

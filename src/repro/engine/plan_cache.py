@@ -251,6 +251,7 @@ class PlanCache:
 
 _DEFAULT_PLAN_CACHE = PlanCache()
 _DEFAULT_SCHEDULE_CACHE = PlanCache(max_entries=256)
+_DEFAULT_EXECUTOR_CACHE = PlanCache(max_entries=128)
 
 
 def default_plan_cache() -> PlanCache:
@@ -263,10 +264,16 @@ def default_schedule_cache() -> PlanCache:
     return _DEFAULT_SCHEDULE_CACHE
 
 
+def default_executor_cache() -> PlanCache:
+    """The process-wide cache of executors used by :func:`cached_executor`."""
+    return _DEFAULT_EXECUTOR_CACHE
+
+
 def clear_caches() -> None:
-    """Drop all cached plans and schedules (stats are kept)."""
+    """Drop all cached plans, schedules and executors (stats are kept)."""
     _DEFAULT_PLAN_CACHE.clear()
     _DEFAULT_SCHEDULE_CACHE.clear()
+    _DEFAULT_EXECUTOR_CACHE.clear()
 
 
 # --------------------------------------------------------------------------- #
@@ -308,3 +315,46 @@ def cached_schedule(
     schedule = cache.get_or_create(key, build)
     assert isinstance(schedule, Schedule)
     return schedule
+
+
+# --------------------------------------------------------------------------- #
+# Executor caching
+# --------------------------------------------------------------------------- #
+def cached_executor(
+    kernel: SpTTNKernel,
+    loop_nest: LoopNest,
+    offload: bool = True,
+    engine: Optional[str] = None,
+    cache: Optional[PlanCache] = None,
+):
+    """One process-wide executor per loop-nest structure.
+
+    Reusing an executor across ``execute()`` calls is the library's fast
+    path (the compiled plan is bound, never rebuilt); this helper makes the
+    reuse automatic for callers that cannot conveniently hold the executor
+    themselves — the measured sweeps' :class:`~repro.core.search.ExecutionRunner`
+    (one executor per candidate per worker process) and the distributed
+    runtime (one executor shared by all virtual ranks of a kernel).
+
+    ``engine=None`` is resolved through the ``REPRO_ENGINE`` default *now*,
+    so the cache key always names a concrete engine and later environment
+    changes cannot alias entries.  Cached executors accumulate their
+    ``counter`` across uses and are not safe for concurrent use from
+    threads; pass ``cache=``\\ a private :class:`PlanCache` (or construct
+    :class:`~repro.engine.executor.LoopNestExecutor` directly) for
+    isolation.
+    """
+    # Imported here: repro.engine.executor imports this module at load time.
+    from repro.engine.executor import LoopNestExecutor, default_engine
+
+    resolved = default_engine() if engine is None else engine
+    cache = cache if cache is not None else _DEFAULT_EXECUTOR_CACHE
+    key = ("executor", plan_key(kernel, loop_nest, offload=offload), resolved)
+    executor = cache.get_or_create(
+        key,
+        lambda: LoopNestExecutor(
+            kernel, loop_nest, offload=offload, engine=resolved
+        ),
+    )
+    assert isinstance(executor, LoopNestExecutor)
+    return executor

@@ -1,0 +1,231 @@
+"""Persistent deterministic worker pool shared by every parallel consumer.
+
+PR 1 gave the loop-nest sweeps their own ``multiprocessing`` fan-out in
+:mod:`repro.core.search`; the distributed runtime needed the same machinery
+to run virtual ranks in parallel.  This module is that machinery, extracted
+into a layer both consumers share:
+
+* **order preservation** — :meth:`WorkerPool.map` returns exactly
+  ``[fn(x) for x in items]`` regardless of worker count or scheduling, so
+  deterministic callers (the sweeps' ``(value, index)`` argmin, the
+  distributed rank reduction) see identical results serial or parallel;
+* **persistence** — the process-wide pool from :func:`shared_pool` outlives
+  individual ``map`` calls, so repeated sweeps and repeated distributed
+  executions reuse warm worker processes (and their plan caches) instead of
+  paying a fork per call;
+* **graceful degradation** — unpicklable callables, single-item maps,
+  daemonic callers (a task running *inside* a pool worker) and pool
+  failures all fall back to the identical serial path: parallelism is an
+  optimization, never a behaviour change.
+
+The default worker count is taken from the ``REPRO_WORKERS`` environment
+variable (``0``/unset → serial, ``-1`` → one per CPU), shared by the
+sweeps, the autotuner, the distributed runtime and the CLI.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import sys
+import warnings
+from collections import OrderedDict
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable providing the process-wide default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> Optional[int]:
+    """Worker count requested via ``REPRO_WORKERS`` (``None`` if unset/invalid)."""
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Normalize a worker-count request.
+
+    ``None`` defers to the ``REPRO_WORKERS`` environment variable (itself
+    defaulting to serial), ``0`` forces serial regardless of the
+    environment, ``-1`` means one worker per CPU, and any positive count is
+    taken as-is.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers is None or workers == 0:
+        return 1
+    if workers < 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+def _pool_context():
+    # On Linux, prefer fork: workers share the parent's shared-memory
+    # resource tracker (single-homed bookkeeping for the operand broadcasts
+    # of repro.runtime.shm), inherit warm module state, and start fast.
+    # Everywhere else the platform default stands — macOS deliberately
+    # defaults to spawn because forking after Accelerate/Objective-C
+    # threads have started is unsafe.
+    if sys.platform.startswith("linux"):
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - fork unavailable
+            pass
+    return multiprocessing.get_context()
+
+
+class WorkerPool:
+    """A persistent, order-preserving pool of worker processes.
+
+    The underlying ``multiprocessing.Pool`` is created lazily on the first
+    parallel :meth:`map` and reused until :meth:`close`, so consumers that
+    map repeatedly (autotune sweeps, distributed executions, benchmarks)
+    pay the process-start cost once.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = resolve_workers(workers)
+        self._pool = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = _pool_context().Pool(processes=self.workers)
+        return self._pool
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        chunksize: Optional[int] = None,
+    ) -> List[R]:
+        """Order-preserving map over *items*, identical to the serial map.
+
+        The serial path is taken when the pool is sized for one worker,
+        there are fewer than two items, *fn* cannot be pickled, or the
+        caller is itself a daemonic pool worker (nested pools are not
+        allowed by ``multiprocessing``); a pool failure mid-map also falls
+        back to serial re-evaluation, so the call never returns partial
+        results.
+        """
+        items = list(items)
+        if (
+            self.workers <= 1
+            or len(items) < 2
+            or multiprocessing.current_process().daemon
+        ):
+            return [fn(x) for x in items]
+        try:
+            pickle.dumps(fn)
+        except Exception:
+            return [fn(x) for x in items]
+        if chunksize is None:
+            chunksize = max(
+                1, (len(items) + 4 * self.workers - 1) // (4 * self.workers)
+            )
+        try:
+            return self._ensure_pool().map(fn, items, chunksize=chunksize)
+        except (OSError, pickle.PicklingError, EOFError) as exc:
+            # Results stay correct, but timing-sensitive callers
+            # (measured_scaling, benchmarks) must not mistake this serial
+            # re-run for a parallel measurement — warn loudly.
+            warnings.warn(
+                f"worker pool failed mid-map ({exc!r}); re-ran "
+                f"{len(items)} task(s) serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.close()
+            return [fn(x) for x in items]
+
+    def close(self) -> None:
+        """Terminate the worker processes (a later map restarts them)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self.is_running else "idle"
+        return f"WorkerPool(workers={self.workers}, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# Process-wide shared pools
+# --------------------------------------------------------------------------- #
+#: Persistent pools keyed by worker count.  Consumers that alternate sizes
+#: (a sweep at ``--workers 2`` interleaved with a distributed execute at
+#: ``--workers 4``) each keep their warm pool instead of thrashing one pool
+#: through terminate/refork cycles; rarely-used sizes are evicted LRU.
+_SHARED_POOLS: "OrderedDict[int, WorkerPool]" = OrderedDict()
+_MAX_SHARED_POOLS = 4
+
+
+def shared_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The process-wide persistent pool for the resolved worker count.
+
+    All library consumers (:func:`parallel_map`, the distributed runtime)
+    funnel through these pools so worker processes — and the plan and
+    schedule caches they accumulate — are shared across subsystems.
+    """
+    n = resolve_workers(workers)
+    pool = _SHARED_POOLS.get(n)
+    if pool is None:
+        pool = WorkerPool(n)
+        _SHARED_POOLS[n] = pool
+        if len(_SHARED_POOLS) > _MAX_SHARED_POOLS:
+            _, evicted = _SHARED_POOLS.popitem(last=False)
+            evicted.close()
+    _SHARED_POOLS.move_to_end(n)
+    return pool
+
+
+def shutdown_pool() -> None:
+    """Terminate every process-wide pool (a later use recreates them)."""
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.close()
+
+
+atexit.register(shutdown_pool)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map over *items*, optionally across processes.
+
+    Results are identical to ``[fn(x) for x in items]`` regardless of the
+    worker count.  Parallel maps run on the persistent :func:`shared_pool`
+    sized at most to the item count (so a ``-1``/one-per-CPU request over a
+    handful of tasks never forks idle workers); every serial/fallback
+    condition of :meth:`WorkerPool.map` applies.
+    """
+    items = list(items)
+    n_workers = min(resolve_workers(workers), len(items))
+    if n_workers <= 1:
+        return [fn(x) for x in items]
+    return shared_pool(n_workers).map(fn, items, chunksize=chunksize)

@@ -1,0 +1,44 @@
+"""Deterministic tree reductions over ordered per-rank partials.
+
+:func:`tree_reduce` combines a list pairwise in the recursive-halving
+shape a real MPI reduce uses (logarithmic depth).  Determinism is the
+load-bearing property: the tree shape depends only on the *number* of
+items, and the distributed runtime feeds it partials in rank order from an
+order-preserving map, so the combined result is bit-identical whether the
+ranks ran serially or on any number of pool workers.
+
+The tree is only used where the combine is *exactly associative* (the
+coordinate concatenation of disjoint sparse-pattern outputs), making it
+bit-identical to the sequential left fold as well.  Floating-point sums are
+not associative, so dense outputs deliberately keep their fixed rank-order
+accumulation instead of this tree — see
+:meth:`repro.distributed.runtime.DistributedSpTTN._reduce`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.util.validation import require
+
+T = TypeVar("T")
+
+
+def tree_reduce(items: Sequence[T], combine: Callable[[T, T], T]) -> T:
+    """Combine *items* pairwise, ``((p0⊕p1) ⊕ (p2⊕p3)) ⊕ ...``.
+
+    Adjacent pairs are combined level by level (an odd tail passes through
+    unchanged), preserving the left-to-right order of *items* inside every
+    combination.  With one item, that item is returned as-is — callers that
+    need a private copy must copy it themselves.
+    """
+    require(len(items) > 0, "tree_reduce needs at least one item")
+    level: List[T] = list(items)
+    while len(level) > 1:
+        nxt: List[T] = [
+            combine(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)
+        ]
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

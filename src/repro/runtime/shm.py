@@ -1,0 +1,200 @@
+"""Zero-copy broadcast of dense operands via POSIX shared memory.
+
+The distributed runtime sends every rank the *same* dense factor matrices.
+Pickling them into each task would copy every operand once per rank per
+call; instead the parent publishes each array once into a
+``multiprocessing.shared_memory`` segment and ships only tiny picklable
+:class:`SharedArrayHandle` descriptors with the tasks.  Workers map the
+segment and wrap it in a read-only ``numpy`` view — no copy, no
+deserialization — and cache the attachment per segment, so a pool worker
+maps each broadcast once no matter how many rank tasks it executes.
+
+When shared memory is unavailable (or an array is empty) the handle simply
+carries the array inline; consumers cannot tell the difference, the
+broadcast just loses the zero-copy property.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+try:
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - always present on CPython >= 3.8
+    _shm = None
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable reference to one published dense array.
+
+    ``segment`` names the shared-memory block holding the data; when it is
+    ``None`` the array travels inline (pickled) instead.
+    """
+
+    name: str
+    segment: Optional[str]
+    shape: Tuple[int, ...]
+    dtype: str
+    inline: Optional[np.ndarray] = field(default=None, repr=False)
+
+
+class DenseBroadcast:
+    """Parent-side owner of one set of published operands.
+
+    Use as a context manager: the segments are unlinked on exit.  Workers
+    that still have the segments mapped keep valid views (POSIX keeps the
+    pages alive until the last map goes away); only *new* attachments
+    become impossible after close.
+    """
+
+    def __init__(
+        self, handles: Dict[str, SharedArrayHandle], segments: List[object]
+    ) -> None:
+        self.handles = handles
+        self._segments = segments
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes placed in shared memory (0 = everything went inline)."""
+        return sum(
+            int(np.prod(h.shape)) * np.dtype(h.dtype).itemsize
+            for h in self.handles.values()
+            if h.segment is not None
+        )
+
+    def close(self) -> None:
+        """Unmap and unlink every published segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - a local view is alive
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def __enter__(self) -> "DenseBroadcast":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def publish(arrays: Mapping[str, np.ndarray]) -> DenseBroadcast:
+    """Copy *arrays* into shared memory once and return their handles."""
+    handles: Dict[str, SharedArrayHandle] = {}
+    segments: List[object] = []
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        seg = None
+        if _shm is not None and arr.nbytes > 0:
+            try:
+                seg = _shm.SharedMemory(create=True, size=arr.nbytes)
+            except (OSError, ValueError):  # pragma: no cover - no /dev/shm
+                seg = None
+        if seg is None:
+            handles[name] = SharedArrayHandle(
+                name, None, tuple(arr.shape), str(arr.dtype), inline=arr
+            )
+            continue
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        del view
+        segments.append(seg)
+        handles[name] = SharedArrayHandle(
+            name, seg.name, tuple(arr.shape), str(arr.dtype)
+        )
+    return DenseBroadcast(handles, segments)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side attachment cache
+# --------------------------------------------------------------------------- #
+#: segment name -> (SharedMemory, read-only ndarray view, shape, dtype).
+#: Per process; pool workers attach each broadcast once and reuse the map
+#: across rank tasks.  Bounded so long-running processes do not accumulate
+#: mappings of segments whose broadcast has long been closed.
+_ATTACHED: Dict[str, Tuple[object, np.ndarray, Tuple[int, ...], str]] = {}
+_ATTACH_CAP = 8
+
+
+def _evict_one() -> None:
+    for key in list(_ATTACHED):
+        seg, arr, shape, dtype = _ATTACHED.pop(key)
+        del arr  # drop our reference so close() can unmap
+        try:
+            seg.close()
+            return
+        except BufferError:
+            # A view is still held by a running task; rebuild the cached
+            # view on the same mapping and try the next entry.
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+            view.flags.writeable = False
+            _ATTACHED[key] = (seg, view, shape, dtype)
+
+
+#: Pid of the process that imported this module.  A *forked* worker
+#: inherits the parent's value (≠ its own pid); a spawn/forkserver worker
+#: re-imports the module and stamps its own pid.  This distinguishes the
+#: two reliably even when the pool's start method differs from the
+#: platform default (the Linux pool forces fork regardless of it).
+_OWNER_PID = os.getpid()
+
+
+def _untrack_worker_attachment(seg) -> None:
+    """Undo the resource-tracker registration of a worker-side attach.
+
+    Workers started fresh (spawn/forkserver) have their own resource
+    tracker, and ``SharedMemory(name=...)`` registers the segment with it;
+    that tracker would then *unlink* the segment (with a leak warning) when
+    the worker exits, even though the parent owns the segment's lifetime.
+    Forked workers share the parent's tracker, where the duplicate
+    registration is a harmless set-add — and must NOT be unregistered,
+    because that would strip the parent's own crash-cleanup registration.
+    """
+    try:
+        if multiprocessing.parent_process() is None:
+            return  # not a worker: we own our registrations
+        if _OWNER_PID != os.getpid():
+            return  # forked: the tracker is shared with the parent
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def attach(handle: SharedArrayHandle) -> np.ndarray:
+    """Resolve a handle to its array (shared-memory view or inline data)."""
+    if handle.segment is None:
+        assert handle.inline is not None
+        return handle.inline
+    cached = _ATTACHED.get(handle.segment)
+    if cached is not None:
+        return cached[1]
+    assert _shm is not None
+    seg = _shm.SharedMemory(name=handle.segment)
+    _untrack_worker_attachment(seg)
+    arr = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=seg.buf)
+    arr.flags.writeable = False
+    if len(_ATTACHED) >= _ATTACH_CAP:
+        _evict_one()
+    _ATTACHED[handle.segment] = (seg, arr, handle.shape, handle.dtype)
+    return arr
+
+
+def detach_all() -> None:
+    """Drop every cached attachment (test/teardown helper)."""
+    while _ATTACHED:
+        before = len(_ATTACHED)
+        _evict_one()
+        if len(_ATTACHED) >= before:  # pragma: no cover - all views in use
+            break

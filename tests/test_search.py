@@ -42,11 +42,17 @@ class ConstantCost(TreeSeparableCost):
 
 
 class TestResolveWorkers:
-    def test_resolution(self):
+    def test_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers(None) == 1
         assert resolve_workers(0) == 1
         assert resolve_workers(3) == 3
         assert resolve_workers(-1) >= 1
+
+    def test_env_default_is_shared_with_the_runtime_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(None) == 2
+        assert resolve_workers(0) == 1  # explicit serial beats the env
 
 
 class TestParallelMap:
