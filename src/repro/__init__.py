@@ -54,6 +54,11 @@ from repro.runtime import (
     resolve_workers,
     shutdown_pool,
 )
+from repro.serve import (
+    ContractionRequest,
+    ContractionService,
+    scenario_mix,
+)
 from repro.sptensor import (
     COOTensor,
     CSFTensor,
@@ -104,6 +109,9 @@ __all__ = [
     "parallel_map",
     "resolve_workers",
     "shutdown_pool",
+    "ContractionRequest",
+    "ContractionService",
+    "scenario_mix",
     "contract",
     "COOTensor",
     "CSFTensor",

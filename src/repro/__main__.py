@@ -25,6 +25,12 @@ pool — and/or sweep the strong-scaling simulator::
     python -m repro dist --spec "ijk,ja,ka->ia" --shape 120,120,120 \
         --nnz 40000 --procs 1,2,4,8 --workers 4 --mode both
 
+Serve a seeded mix of concurrent contraction requests through the batched
+contraction service and report throughput (optionally against naive
+per-request re-planning)::
+
+    python -m repro serve --requests 64 --workers 2 --mix mixed --compare-naive
+
 Show (or clear) the process-wide plan/schedule cache statistics::
 
     python -m repro cache
@@ -49,7 +55,12 @@ from repro.core.expr import parse_kernel
 from repro.core.scheduler import SpTTNScheduler
 from repro.core.search import ExecutionRunner, resolve_workers, sweep_loop_orders
 from repro.engine.executor import ENGINES
-from repro.engine.plan_cache import clear_caches, default_plan_cache, default_schedule_cache
+from repro.engine.plan_cache import (
+    clear_caches,
+    default_executor_cache,
+    default_plan_cache,
+    default_schedule_cache,
+)
 from repro.frameworks import (
     CTFLikeBaseline,
     SparseLNRLikeBaseline,
@@ -57,6 +68,7 @@ from repro.frameworks import (
     SpTTNCyclopsBaseline,
     TacoLikeBaseline,
 )
+from repro.serve.scenarios import MIXES
 from repro.sptensor import dataset_presets, random_dense_matrix, random_sparse_tensor, read_tns
 
 _BASELINES = {
@@ -293,6 +305,75 @@ def cmd_dist(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Drive the batched contraction service with a seeded request mix.
+
+    Generates ``--requests`` deterministic requests for the ``--mix``
+    scenario (kernels, shapes, dtypes and sparsities vary within the mix),
+    serves them through :class:`~repro.serve.ContractionService` on
+    ``--workers`` worker processes, and prints throughput, batching and
+    cache statistics.  ``--compare-naive`` also times the same requests
+    under naive per-request re-planning (no schedule/plan/executor reuse)
+    and prints the speedup of batched cached serving.
+    """
+    from repro.serve import (
+        ContractionService,
+        ServiceStats,
+        execute_naive,
+        scenario_mix,
+    )
+
+    requests = scenario_mix(
+        args.requests, mix=args.mix, seed=args.seed, engine=args.engine
+    )
+    service = ContractionService(workers=args.workers, engine=args.engine)
+    workers = resolve_workers(args.workers)
+    if args.warmup:
+        service.run(requests)  # populate schedule/plan/executor caches
+        service.stats = ServiceStats()  # report the timed pass only
+    start = time.perf_counter()
+    service.run(requests)
+    served_s = time.perf_counter() - start
+
+    stats = service.stats
+    print(f"\nserved {args.requests} request(s), mix={args.mix!r}, "
+          f"{workers} worker(s), engine={service.engine}")
+    print(f"{'elapsed [ms]':>16s} {'req/s':>10s} {'batches':>8s} "
+          f"{'amortized':>10s} {'shm [kB]':>9s}")
+    print(f"{served_s * 1e3:16.1f} {args.requests / served_s:10.1f} "
+          f"{stats.batches:8d} {stats.amortized:10d} "
+          f"{stats.shared_bytes / 1e3:9.1f}")
+    kinds = ", ".join(f"{k}={n}" for k, n in sorted(stats.by_kind.items()))
+    print(f"request mix: {kinds}")
+
+    if args.compare_naive:
+        start = time.perf_counter()
+        execute_naive(requests, engine=args.engine)
+        naive_s = time.perf_counter() - start
+        print(
+            f"\nnaive per-request re-planning: {naive_s * 1e3:.1f} ms "
+            f"({args.requests / naive_s:.1f} req/s) — batched cached "
+            f"serving is {naive_s / served_s:.1f}x faster"
+        )
+
+    print("\nprocess cache statistics:")
+    _print_cache_stats(service.cache_stats())
+    return 0
+
+
+def _print_cache_stats(stats_by_cache) -> None:
+    print(
+        f"{'cache':>10s} {'entries':>8s} {'hits':>8s} {'misses':>8s} "
+        f"{'evictions':>10s} {'rejections':>11s} {'bytes':>12s}"
+    )
+    for name, stats in stats_by_cache.items():
+        print(
+            f"{name:>10s} {stats['entries']:8d} {stats['hits']:8d} "
+            f"{stats['misses']:8d} {stats['evictions']:10d} "
+            f"{stats['rejections']:11d} {stats['bytes']:12,d}"
+        )
+
+
 def cmd_cache(args) -> int:
     """Print (and optionally clear) the process-wide plan/schedule caches.
 
@@ -300,26 +381,24 @@ def cmd_cache(args) -> int:
     benchmark harnesses) accumulate entries; a fresh CLI invocation starts
     empty.  ``--clear`` drops all cached plans and schedules (statistics are
     kept so hit/miss history stays visible); ``--reset-stats`` zeroes the
-    counters as well.
+    counters as well.  The plan cache's byte accounting (the
+    ``REPRO_PLAN_CACHE_BYTES`` LRU memory budget) is shown in the ``bytes``
+    column; ``rejections`` counts oversized entries refused admission.
     """
     caches = {
         "plan": default_plan_cache(),
         "schedule": default_schedule_cache(),
+        "executor": default_executor_cache(),
     }
     if args.clear:
         clear_caches()
-        print("cleared all cached plans and schedules")
+        print("cleared all cached plans, schedules and executors")
     if args.reset_stats:
         for cache in caches.values():
             cache.reset_stats()
         print("reset cache statistics")
-    print(f"\n{'cache':>10s} {'entries':>8s} {'hits':>8s} {'misses':>8s} {'evictions':>10s}")
-    for name, cache in caches.items():
-        stats = cache.stats()
-        print(
-            f"{name:>10s} {stats['entries']:8d} {stats['hits']:8d} "
-            f"{stats['misses']:8d} {stats['evictions']:10d}"
-        )
+    print()
+    _print_cache_stats({name: cache.stats() for name, cache in caches.items()})
     return 0
 
 
@@ -431,6 +510,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(two extra executions) after the execute sweep",
     )
     p_dist.set_defaults(func=cmd_dist, check=True)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drive the batched contraction service with a seeded request mix",
+    )
+    p_serve.add_argument(
+        "--requests", type=int, default=64,
+        help="number of requests in the generated workload (default 64)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for batch dispatch (default: the "
+        "REPRO_WORKERS environment variable; 0 = serial, -1 = one per CPU)",
+    )
+    p_serve.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="execution engine for served requests (default: REPRO_ENGINE "
+        "environment variable, else 'lowered')",
+    )
+    p_serve.add_argument(
+        "--mix", choices=MIXES, default="mixed",
+        help="scenario mix of the generated requests (default mixed)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="seed for the scenario generator")
+    p_serve.add_argument(
+        "--cold", dest="warmup", action="store_false",
+        help="time the first (cold) pass instead of warming the caches "
+        "with one untimed pass first",
+    )
+    p_serve.add_argument(
+        "--compare-naive", action="store_true",
+        help="also time naive per-request re-planning and print the speedup",
+    )
+    p_serve.set_defaults(func=cmd_serve, warmup=True)
 
     p_cache = sub.add_parser(
         "cache", help="show (or clear) the process-wide plan/schedule cache stats"

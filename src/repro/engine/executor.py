@@ -197,6 +197,7 @@ class LoopNestExecutor:
         self._prepare(tensors)
         plan = self._plan
         assert plan is not None and self._csf is not None
+        plan_state = (plan.n_sites, plan.lowered is not None)
         self.last_engine = "interpret"
         if self.engine == "lowered" and self._csf.nnz > 0:
             if plan.lowered is None:
@@ -220,6 +221,13 @@ class LoopNestExecutor:
         else:
             assert self._out_dense is not None
             result = self._out_dense
+        if self._cache is not None and plan_state != (
+            plan.n_sites,
+            plan.lowered is not None,
+        ):
+            # the plan grew (sites discovered / lowering compiled): let the
+            # cache's memory budget see the real size
+            self._cache.reaccount(plan.key)
         self._release_bindings()
         return result
 

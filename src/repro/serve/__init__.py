@@ -1,0 +1,47 @@
+"""Serving layer: batched concurrent SpTTN contraction requests.
+
+* :mod:`repro.serve.request` — :class:`ContractionRequest` (an einsum spec
+  plus operands) and named builders for the four kernel families.
+* :mod:`repro.serve.service` — :class:`ContractionService`: bounded
+  admission, batching by plan-cache signature, dispatch over the shared
+  worker pool with shm broadcast of shared dense operands, futures with
+  deterministic submission-order results; plus the sequential oracle and
+  the naive per-request-planning baseline.
+* :mod:`repro.serve.scenarios` — seeded request mixes for the
+  ``repro serve`` load driver and the throughput benchmark.
+"""
+
+from repro.serve.request import (
+    ContractionRequest,
+    all_mode_ttmc_request,
+    mttkrp_request,
+    ttmc_request,
+    tttc_request,
+    tttp_request,
+)
+from repro.serve.scenarios import MIXES, scenario_mix
+from repro.serve.service import (
+    AdmissionError,
+    ContractionService,
+    ServeFuture,
+    ServiceStats,
+    execute_naive,
+    execute_sequential,
+)
+
+__all__ = [
+    "ContractionRequest",
+    "mttkrp_request",
+    "ttmc_request",
+    "all_mode_ttmc_request",
+    "tttp_request",
+    "tttc_request",
+    "MIXES",
+    "scenario_mix",
+    "AdmissionError",
+    "ContractionService",
+    "ServeFuture",
+    "ServiceStats",
+    "execute_naive",
+    "execute_sequential",
+]

@@ -1,0 +1,129 @@
+"""Seeded request-mix scenarios for the load driver and benchmarks.
+
+:func:`scenario_mix` generates a deterministic stream of contraction
+requests spanning the four named kernel families plus arbitrary spec
+strings, over a small pool of sparse tensors (different shapes, orders and
+sparsities) and dense factor sets (float64 and float32).  The same seed
+always produces the same requests, so the CLI load driver
+(``repro serve``), the throughput benchmark and the conformance tests all
+replay identical traffic.
+
+Factor arrays are drawn from a per-call pool keyed by (tensor, mode, rank,
+dtype): requests that agree on those share the *same* array objects, which
+is what makes the service's shared-operand shm broadcast engage — exactly
+how real serving traffic repeats a model's factor matrices across requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.tttc import tt_core_shapes
+from repro.serve.request import (
+    ContractionRequest,
+    mttkrp_request,
+    ttmc_request,
+    tttc_request,
+    tttp_request,
+)
+from repro.sptensor.generate import random_sparse_tensor
+from repro.util.validation import require
+
+#: Scenario mixes accepted by :func:`scenario_mix` (and ``repro serve``).
+MIXES = ("mixed", "mttkrp", "ttmc", "tttp", "tttc", "spec")
+
+#: Sparse tensor pool: (shape, nnz) — two order-3 tensors of different
+#: shape/sparsity plus one order-4 tensor.
+_TENSOR_CONFIGS: Tuple[Tuple[Tuple[int, ...], int], ...] = (
+    ((26, 22, 18), 350),
+    ((30, 24, 20), 120),
+    ((14, 12, 10, 8), 220),
+)
+
+#: Arbitrary (non-named) spec strings served as raw ``build_kernel`` input;
+#: ``{order}`` selects per tensor order.  The order-3 spec contracts mode k
+#: without a factor, a shape none of the named families produce.
+_RAW_SPECS = {
+    3: "ijk,ir,js->rs",
+    4: "ijkl,ir,jr->lr",
+}
+
+_RANKS = (4, 6)
+_DTYPES = ("float64", "float32")
+
+
+def scenario_mix(
+    n_requests: int = 64,
+    mix: str = "mixed",
+    seed: int = 0,
+    engine: Optional[str] = None,
+) -> List[ContractionRequest]:
+    """A deterministic list of *n_requests* requests for the given *mix*."""
+    require(mix in MIXES, f"mix must be one of {MIXES}, got {mix!r}")
+    require(n_requests >= 1, "n_requests must be >= 1")
+    rng = np.random.default_rng(seed)
+    tensors = [
+        random_sparse_tensor(shape, nnz=nnz, seed=seed * 1000 + i)
+        for i, (shape, nnz) in enumerate(_TENSOR_CONFIGS)
+    ]
+    factor_pool: Dict[Tuple[int, int, int, str], np.ndarray] = {}
+
+    def factor(tensor_i: int, mode: int, rank: int, dtype: str) -> np.ndarray:
+        key = (tensor_i, mode, rank, dtype)
+        if key not in factor_pool:
+            dim = tensors[tensor_i].shape[mode]
+            arr = rng.random((dim, rank))
+            factor_pool[key] = arr.astype(dtype)
+        return factor_pool[key]
+
+    def core(tensor_i: int, pos: int, rank: int, dtype: str) -> np.ndarray:
+        shape = tt_core_shapes(tensors[tensor_i].shape, rank)[pos]
+        key = (tensor_i, 100 + pos, rank, dtype)
+        if key not in factor_pool:
+            factor_pool[key] = rng.random(shape).astype(dtype)
+        return factor_pool[key]
+
+    kinds = list(MIXES[1:]) if mix == "mixed" else [mix]
+    requests: List[ContractionRequest] = []
+    for _ in range(n_requests):
+        kind = kinds[int(rng.integers(len(kinds)))]
+        # TTTc scheduling over order-4 chains is disproportionately
+        # expensive; keep that family (and the raw specs' factor count) on
+        # the order-3 tensors.
+        n_configs = len(tensors) if kind in ("mttkrp", "ttmc", "tttp") else 2
+        tensor_i = int(rng.integers(n_configs))
+        tensor = tensors[tensor_i]
+        order = tensor.order
+        rank = _RANKS[int(rng.integers(len(_RANKS)))]
+        dtype = _DTYPES[int(rng.integers(len(_DTYPES)))]
+
+        if kind in ("mttkrp", "ttmc"):
+            mode = int(rng.integers(order))
+            factors = [
+                factor(tensor_i, n, rank, dtype) for n in range(order) if n != mode
+            ]
+            build = mttkrp_request if kind == "mttkrp" else ttmc_request
+            requests.append(build(tensor, factors, mode=mode, engine=engine))
+        elif kind == "tttp":
+            factors = [factor(tensor_i, n, rank, dtype) for n in range(order)]
+            requests.append(tttp_request(tensor, factors, engine=engine))
+        elif kind == "tttc":
+            cores = [core(tensor_i, n, rank, dtype) for n in range(order - 1)]
+            requests.append(tttc_request(tensor, cores, engine=engine))
+        else:  # raw spec strings through build_kernel
+            spec = _RAW_SPECS[order]
+            n_dense = spec.split("->")[0].count(",")
+            operands = [tensor] + [
+                factor(tensor_i, n, rank, dtype) for n in range(n_dense)
+            ]
+            requests.append(
+                ContractionRequest(
+                    spec=spec,
+                    operands=tuple(operands),
+                    engine=engine,
+                    kind="spec",
+                )
+            )
+    return requests

@@ -1,0 +1,592 @@
+"""Batched contraction service: many concurrent requests, one runtime.
+
+:class:`ContractionService` is the serving layer the ROADMAP's north star
+asks for: callers :meth:`~ContractionService.submit` contraction requests
+(the four named kernel families or arbitrary ``build_kernel`` spec strings)
+and receive :class:`ServeFuture` handles; the service executes the queue in
+*batches* and resolves every future in submission order.
+
+The throughput lever is the paper's own amortization argument applied
+across requests instead of across iterations:
+
+* **batching by plan-cache signature** — queued requests are grouped by the
+  structural identity that determines their schedule and compiled plan
+  (kernel signature + sparsity statistics + operand shapes/dtypes +
+  engine).  Each group resolves one
+  :func:`~repro.engine.plan_cache.cached_schedule` and one
+  :func:`~repro.engine.plan_cache.cached_executor`, so the scheduler's
+  loop-order search and the executor's symbolic preprocessing are paid once
+  per group, not once per request;
+* **dispatch on the shared runtime** — with ``workers > 1`` (or
+  ``REPRO_WORKERS`` set) each group fans out over the persistent
+  :func:`~repro.runtime.shared_pool`.  Operands referenced by more than
+  one request of a group — dense factor matrices *and* the COO sparse
+  tensor's coordinate/value arrays — are broadcast once through
+  ``multiprocessing.shared_memory`` (:mod:`repro.runtime.shm`); each task
+  ships only its request's private operands, and workers rebuild each
+  broadcast sparse tensor once (cached per segment), so its CSF conversion
+  is reused across the whole batch.  The order-preserving map keeps
+  results in submission order, so the parallel tier is bit-identical to
+  serial serving;
+* **admission control** — the queue is bounded (``max_pending``) and every
+  request is validated (spec parsed against its operands) at submission:
+  malformed work is rejected with :class:`AdmissionError` before it can
+  occupy the queue.  Per-request *execution* failures resolve only their
+  own future; the rest of the batch is unaffected.
+
+The memory side of admission lives in the plan cache itself: the process
+caches are LRU with an optional byte budget (``REPRO_PLAN_CACHE_BYTES``),
+so a long-running service cannot grow its compiled-plan footprint without
+bound.  :meth:`ContractionService.cache_stats` surfaces the hit/miss/
+eviction/bytes counters per cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.expr import SpTTNKernel
+from repro.core.loop_nest import LoopNest
+from repro.engine.executor import (
+    ENGINES,
+    LoopNestExecutor,
+    TensorLike,
+    default_engine,
+)
+from repro.engine.plan_cache import (
+    cached_executor,
+    cached_schedule,
+    default_executor_cache,
+    default_plan_cache,
+    default_schedule_cache,
+    operand_signature,
+    schedule_key,
+)
+from repro.core.scheduler import SpTTNScheduler
+from repro.runtime import attach, parallel_map, publish, resolve_workers
+from repro.serve.request import ContractionRequest
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.dense import DenseTensor
+from repro.util.validation import require
+
+Output = Union[np.ndarray, COOTensor]
+
+#: Scheduling knobs shared by every request the service plans.  They are
+#: part of the group signature implicitly (all groups use the same knobs),
+#: and they match the :func:`~repro.engine.plan_cache.cached_schedule`
+#: defaults so service traffic and library callers share cache entries.
+_SCHEDULE_KNOBS = dict(
+    buffer_dim_bound=2, flop_tolerance=1.5, max_paths=5000, enforce_csf_order=True
+)
+
+
+class AdmissionError(RuntimeError):
+    """A request was refused at submission (full queue or invalid spec)."""
+
+
+@dataclass
+class _RequestError:
+    """Picklable marker carrying one request's execution failure."""
+
+    message: str
+
+
+@dataclass
+class _SharedSparse:
+    """Picklable reference to a shm-broadcast COO sparse operand.
+
+    Ships only the two :class:`~repro.runtime.shm.SharedArrayHandle`\\ s of
+    the coordinate/value arrays; workers rebuild (and cache) the tensor via
+    :func:`_resolve_sparse`.
+    """
+
+    shape: Tuple[int, ...]
+    indices: object
+    values: object
+
+
+#: Worker-side cache of rebuilt broadcast sparse tensors, keyed by the
+#: values segment name.  Returning the *same* COOTensor object for every
+#: request of a batch is what makes the per-object CSF-conversion memo hit
+#: across the batch — one CSF analysis per worker, not one per request.
+_SPARSE_ATTACHED: "OrderedDict[str, COOTensor]" = OrderedDict()
+_SPARSE_ATTACH_CAP = 8
+
+
+def _resolve_sparse(ref: _SharedSparse) -> COOTensor:
+    key = getattr(ref.values, "segment", None)
+    if key is not None:
+        cached = _SPARSE_ATTACHED.get(key)
+        if cached is not None:
+            _SPARSE_ATTACHED.move_to_end(key)
+            return cached
+    # the broadcast arrays are already canonical (deduped, sorted), so the
+    # constructor's sort pass is skipped
+    tensor = COOTensor(ref.shape, attach(ref.indices), attach(ref.values), sort=False)
+    if key is not None:
+        _SPARSE_ATTACHED[key] = tensor
+        if len(_SPARSE_ATTACHED) > _SPARSE_ATTACH_CAP:
+            _SPARSE_ATTACHED.popitem(last=False)
+    return tensor
+
+
+class ServeFuture:
+    """Handle for one submitted request's result.
+
+    ``result()`` on a still-pending future triggers a service
+    :meth:`~ContractionService.flush` (the service is synchronous — there
+    is no background thread), then returns the output or raises
+    ``RuntimeError`` if that request failed during execution.
+    """
+
+    __slots__ = ("request", "_service", "_done", "_value")
+
+    def __init__(self, request: ContractionRequest, service: "ContractionService"):
+        self.request = request
+        self._service = service
+        self._done = False
+        self._value: object = None
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def _resolve(self, value: object) -> None:
+        self._done = True
+        self._value = value
+
+    def result(self) -> Output:
+        if not self._done:
+            self._service.flush()
+        assert self._done, "flush() must resolve every pending future"
+        if isinstance(self._value, _RequestError):
+            raise RuntimeError(
+                f"request {self.request.kind!r} ({self.request.spec}) failed: "
+                f"{self._value.message}"
+            )
+        return self._value  # type: ignore[return-value]
+
+
+@dataclass
+class ServiceStats:
+    """Counters accumulated over a service's lifetime."""
+
+    submitted: int = 0
+    rejected: int = 0
+    served: int = 0
+    failed: int = 0
+    flushes: int = 0
+    batches: int = 0
+    #: requests beyond each batch's first — the ones whose schedule search
+    #: and plan compilation were amortized by batching.
+    amortized: int = 0
+    #: bytes of dense operand data placed in shared memory by batch dispatch.
+    shared_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "served": self.served,
+            "failed": self.failed,
+            "flushes": self.flushes,
+            "batches": self.batches,
+            "amortized": self.amortized,
+            "shared_bytes": self.shared_bytes,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+class _Pending:
+    """One admitted request waiting for the next flush."""
+
+    __slots__ = ("request", "kernel", "mapping", "signature", "engine", "future")
+
+    def __init__(
+        self,
+        request: ContractionRequest,
+        kernel: SpTTNKernel,
+        mapping: Dict[str, TensorLike],
+        signature: Tuple,
+        engine: str,
+        future: ServeFuture,
+    ) -> None:
+        self.request = request
+        self.kernel = kernel
+        self.mapping = mapping
+        self.signature = signature
+        self.engine = engine
+        self.future = future
+
+
+class _BatchTask:
+    """Picklable per-request execution task for the worker pool.
+
+    The task carries the batch's shared structure (kernel, loop nest,
+    engine) once; each payload holds the request's private operands, a
+    ``"__shared__"`` map of shm handles for broadcast dense operands
+    (resolved with the worker-side attachment cache of
+    :mod:`repro.runtime.shm`), and :class:`_SharedSparse` references for
+    broadcast sparse operands (rebuilt once per worker per broadcast).  The executor is resolved through the
+    process-wide :func:`~repro.engine.plan_cache.cached_executor`, so each
+    worker compiles the batch's plan once no matter how many requests it
+    serves.
+    """
+
+    def __init__(
+        self, kernel: SpTTNKernel, loop_nest: LoopNest, engine: str
+    ) -> None:
+        self.kernel = kernel
+        self.loop_nest = loop_nest
+        self.engine = engine
+
+    def __call__(self, payload: Dict[str, object]) -> object:
+        payload = dict(payload)
+        shared = payload.pop("__shared__", {})
+        tensors: Dict[str, TensorLike] = {
+            name: attach(handle) for name, handle in shared.items()
+        }
+        for name, value in payload.items():
+            tensors[name] = (
+                _resolve_sparse(value) if isinstance(value, _SharedSparse) else value
+            )
+        try:
+            executor = cached_executor(
+                self.kernel, self.loop_nest, engine=self.engine
+            )
+            return executor.execute(tensors)
+        except Exception as exc:  # per-request isolation
+            return _RequestError(f"{type(exc).__name__}: {exc}")
+
+
+class ContractionService:
+    """Batched serving of SpTTN contraction requests on the shared runtime.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes per flush (``None`` = the ``REPRO_WORKERS``
+        default, ``0`` = serial, ``-1`` = one per CPU).  Serial and
+        parallel serving produce bit-identical results.
+    engine:
+        Default execution engine for requests that do not override it
+        (``None`` = the ``REPRO_ENGINE`` process default, resolved once at
+        construction so later environment changes cannot split a batch).
+    max_pending:
+        Queue bound; :meth:`submit` raises :class:`AdmissionError` when the
+        queue is full.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        engine: Optional[str] = None,
+        max_pending: int = 4096,
+    ) -> None:
+        require(max_pending >= 1, "max_pending must be >= 1")
+        self.workers = workers
+        self.engine = default_engine() if engine is None else engine
+        # the service-wide default reaches every request: fail at
+        # construction, not per future at flush time (per-request engine
+        # overrides stay late-failing, isolated to their own future)
+        require(
+            self.engine in ENGINES,
+            f"engine must be one of {ENGINES}, got {self.engine!r}",
+        )
+        self.max_pending = max_pending
+        self.stats = ServiceStats()
+        self._pending: List[_Pending] = []
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _signature(
+        self, kernel: SpTTNKernel, mapping: Mapping[str, TensorLike], engine: str
+    ) -> Tuple:
+        return (
+            schedule_key(kernel, **_SCHEDULE_KNOBS),
+            operand_signature(kernel, mapping),
+            engine,
+        )
+
+    def submit(self, request: ContractionRequest) -> ServeFuture:
+        """Admit one request; returns its future or raises AdmissionError."""
+        if len(self._pending) >= self.max_pending:
+            self.stats.rejected += 1
+            raise AdmissionError(
+                f"queue full ({self.max_pending} pending); flush() or raise "
+                f"max_pending"
+            )
+        try:
+            kernel, mapping = request.build()
+        except Exception as exc:
+            self.stats.rejected += 1
+            raise AdmissionError(f"invalid request: {exc}") from exc
+        engine = request.engine if request.engine is not None else self.engine
+        future = ServeFuture(request, self)
+        self._pending.append(
+            _Pending(
+                request,
+                kernel,
+                dict(mapping),
+                self._signature(kernel, mapping, engine),
+                engine,
+                future,
+            )
+        )
+        self.stats.submitted += 1
+        self.stats.by_kind[request.kind] = (
+            self.stats.by_kind.get(request.kind, 0) + 1
+        )
+        return future
+
+    def submit_many(
+        self, requests: Sequence[ContractionRequest]
+    ) -> List[ServeFuture]:
+        return [self.submit(r) for r in requests]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Execute every pending request and resolve its future.
+
+        Requests are grouped by plan-cache signature; groups run in
+        first-submission order, requests within a group in submission
+        order, so the set of (request, result) pairs — and every future's
+        value — is independent of grouping and worker count.
+        """
+        pending, self._pending = self._pending, []
+        if not pending:
+            return
+        self.stats.flushes += 1
+        groups: "OrderedDict[Tuple, List[_Pending]]" = OrderedDict()
+        for p in pending:
+            groups.setdefault(p.signature, []).append(p)
+        workers = resolve_workers(self.workers)
+        try:
+            for group in groups.values():
+                self._run_group(group, workers)
+        except BaseException as exc:
+            # _run_group isolates per-request and per-group failures; only
+            # truly unexpected errors (MemoryError, KeyboardInterrupt, a
+            # pool encoding failure) land here.  Every still-pending future
+            # must resolve — with the abort recorded — or a later
+            # ``result()`` would hang on a queue that no longer exists.
+            error = _RequestError(f"flush aborted: {type(exc).__name__}: {exc}")
+            for p in pending:
+                if not p.future.done:
+                    self.stats.failed += 1
+                    p.future._resolve(error)
+            raise
+        self.stats.batches += len(groups)
+        self.stats.amortized += len(pending) - len(groups)
+
+    def run(self, requests: Sequence[ContractionRequest]) -> List[Output]:
+        """Submit, flush and collect results in request order."""
+        futures = self.submit_many(requests)
+        self.flush()
+        return [f.result() for f in futures]
+
+    def _resolve(self, group: List[_Pending], results: Sequence[object]) -> None:
+        for p, value in zip(group, results):
+            if isinstance(value, _RequestError):
+                self.stats.failed += 1
+            else:
+                self.stats.served += 1
+            p.future._resolve(value)
+
+    def _run_group(self, group: List[_Pending], workers: int) -> None:
+        leader = group[0]
+        try:
+            schedule = cached_schedule(leader.kernel, **_SCHEDULE_KNOBS)
+        except Exception as exc:
+            # scheduling failure is structural: it fails the whole group
+            error = _RequestError(f"{type(exc).__name__}: {exc}")
+            self._resolve(group, [error] * len(group))
+            return
+        nest = schedule.loop_nest
+        if workers > 1 and len(group) > 1:
+            results = self._run_group_parallel(group, nest, workers)
+        else:
+            results = self._run_group_serial(group, nest)
+        self._resolve(group, results)
+
+    def _run_group_serial(
+        self, group: List[_Pending], nest: LoopNest
+    ) -> List[object]:
+        leader = group[0]
+        try:
+            executor = cached_executor(leader.kernel, nest, engine=leader.engine)
+        except Exception as exc:
+            # executor construction is structural (e.g. an unknown engine
+            # name): it fails the whole signature group, nobody else
+            error = _RequestError(f"{type(exc).__name__}: {exc}")
+            return [error] * len(group)
+        results: List[object] = []
+        for p in group:
+            try:
+                results.append(executor.execute(p.mapping))
+            except Exception as exc:
+                results.append(_RequestError(f"{type(exc).__name__}: {exc}"))
+        return results
+
+    def _shared_dense(
+        self, group: List[_Pending]
+    ) -> Dict[int, Tuple[str, np.ndarray]]:
+        """Dense operand arrays referenced by more than one request.
+
+        Keyed by ``id()`` of the underlying array object: requests built
+        from one factor set (an ALS sweep's workers, the scenario mixes)
+        share array objects, and those are exactly the operands worth
+        broadcasting once instead of pickling per task.
+        """
+        seen: Dict[int, Tuple[str, np.ndarray, int]] = {}
+        for p in group:
+            for op in p.kernel.dense_operands:
+                value = p.mapping[op.name]
+                arr = value.data if isinstance(value, DenseTensor) else value
+                if not isinstance(arr, np.ndarray):
+                    continue
+                # a broadcast strips the DenseTensor wrapper, which is
+                # safe: DenseTensor normalizes its data to float64 on
+                # construction, so the executor binds the attached array
+                # to the same bits either way
+                key = id(arr)
+                name, _, count = seen.get(key, (op.name, arr, 0))
+                seen[key] = (name, arr, count + 1)
+        return {
+            key: (name, arr)
+            for key, (name, arr, count) in seen.items()
+            if count > 1
+        }
+
+    def _shared_sparse(self, group: List[_Pending]) -> Dict[int, COOTensor]:
+        """COO sparse operands referenced by more than one request."""
+        name = group[0].kernel.sparse_operand.name
+        seen: Dict[int, Tuple[COOTensor, int]] = {}
+        for p in group:
+            value = p.mapping[name]
+            if isinstance(value, COOTensor):
+                tensor, count = seen.get(id(value), (value, 0))
+                seen[id(value)] = (tensor, count + 1)
+        return {key: t for key, (t, count) in seen.items() if count > 1}
+
+    def _run_group_parallel(
+        self, group: List[_Pending], nest: LoopNest, workers: int
+    ) -> List[object]:
+        leader = group[0]
+        shared = self._shared_dense(group)
+        sparse_shared = self._shared_sparse(group)
+        # segment names must be unique per array object, not per operand
+        # name (two requests may bind different arrays to one name)
+        arrays = {f"a{i}": arr for i, (_, arr) in enumerate(shared.values())}
+        for i, tensor in enumerate(sparse_shared.values()):
+            arrays[f"si{i}"] = tensor.indices
+            arrays[f"sv{i}"] = tensor.values
+        published = publish(arrays)
+        handle_of = {
+            key: published.handles[f"a{i}"]
+            for i, key in enumerate(shared.keys())
+        }
+        sparse_ref_of = {
+            key: _SharedSparse(
+                tuple(tensor.shape),
+                published.handles[f"si{i}"],
+                published.handles[f"sv{i}"],
+            )
+            for i, (key, tensor) in enumerate(sparse_shared.items())
+        }
+        try:
+            self.stats.shared_bytes += published.shared_bytes
+            payloads: List[Dict[str, object]] = []
+            for p in group:
+                payload: Dict[str, object] = {}
+                task_shared: Dict[str, object] = {}
+                for op in p.kernel.operands:
+                    value = p.mapping[op.name]
+                    arr = value.data if isinstance(value, DenseTensor) else value
+                    if isinstance(arr, np.ndarray) and id(arr) in handle_of:
+                        task_shared[op.name] = handle_of[id(arr)]
+                    elif id(value) in sparse_ref_of:
+                        payload[op.name] = sparse_ref_of[id(value)]
+                    else:
+                        payload[op.name] = value
+                payload["__shared__"] = task_shared
+                payloads.append(payload)
+            task = _BatchTask(leader.kernel, nest, leader.engine)
+            return parallel_map(
+                task, payloads, workers=min(workers, len(group))
+            )
+        finally:
+            published.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def cache_stats() -> Dict[str, Dict[str, int]]:
+        """Hit/miss/eviction/bytes stats of the process-wide caches."""
+        return {
+            "plan": default_plan_cache().stats(),
+            "schedule": default_schedule_cache().stats(),
+            "executor": default_executor_cache().stats(),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Reference execution paths (oracle and baseline)
+# --------------------------------------------------------------------------- #
+def execute_sequential(
+    requests: Sequence[ContractionRequest], engine: Optional[str] = None
+) -> List[Output]:
+    """One-at-a-time execution through the ordinary cached library path.
+
+    This is the service's correctness oracle: batched serving (any worker
+    count) must be bit-identical to this loop.
+    """
+    resolved = default_engine() if engine is None else engine
+    results: List[Output] = []
+    for request in requests:
+        kernel, mapping = request.build()
+        schedule = cached_schedule(kernel, **_SCHEDULE_KNOBS)
+        executor = cached_executor(
+            kernel,
+            schedule.loop_nest,
+            engine=request.engine if request.engine is not None else resolved,
+        )
+        results.append(executor.execute(mapping))
+    return results
+
+
+def execute_naive(
+    requests: Sequence[ContractionRequest], engine: Optional[str] = None
+) -> List[Output]:
+    """Per-request re-planning: no schedule, plan or executor reuse.
+
+    Every request pays the full pipeline — scheduler search, symbolic
+    preprocessing, lowering — from scratch.  This is the baseline the serve
+    benchmark compares batched cached serving against.
+    """
+    resolved = default_engine() if engine is None else engine
+    results: List[Output] = []
+    for request in requests:
+        kernel, mapping = request.build()
+        schedule = SpTTNScheduler(kernel, **_SCHEDULE_KNOBS).schedule()
+        executor = LoopNestExecutor(
+            kernel,
+            schedule.loop_nest,
+            plan_cache=None,
+            engine=request.engine if request.engine is not None else resolved,
+        )
+        results.append(executor.execute(mapping))
+    return results

@@ -6,13 +6,33 @@ correctness of the loop-nest machinery does not depend on scale.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 import repro
 from repro.core.expr import parse_kernel
 from repro.engine.plan_cache import clear_caches
 from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
+
+# --------------------------------------------------------------------------- #
+# Hypothesis settings profiles
+# --------------------------------------------------------------------------- #
+# Both profiles are *derandomized*: example generation is seeded from the
+# test name, so a property-test run is reproducible locally and in CI (no
+# flaky examples appearing only on one machine, no reliance on the example
+# database).  ``ci`` is the default; select with HYPOTHESIS_PROFILE=dev for
+# deeper local sweeps.
+_COMMON = dict(
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("ci", max_examples=25, **_COMMON)
+settings.register_profile("dev", max_examples=100, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(autouse=True)

@@ -1,0 +1,95 @@
+"""Golden regression tests for the apps layer.
+
+CP-ALS and Tucker-HOOI drive every engine layer — schedule cache, compiled
+plans, the lowered VM, BLAS offload — through dozens of kernel executions,
+so their seeded fit trajectories are a sensitive end-to-end probe: a future
+engine change that silently shifts numerics (a reassociated reduction, a
+changed accumulation order, a broken recipe) moves these values long before
+any unit test notices.
+
+The stored values were produced by the seed revision of this test (NumPy
+substrate, float64 accumulation).  Tolerances are tight enough to catch
+algorithmic drift but leave room for BLAS/LAPACK library variation across
+platforms: the trajectories are fit values and norms — invariant under the
+sign/rotation ambiguity of the underlying SVD factors — so 1e-6 relative
+slack is platform noise, not drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.cp_als import cp_als
+from repro.apps.tucker_hooi import tucker_hooi
+from repro.sptensor import random_sparse_tensor
+
+_RTOL = 1e-6
+_ATOL = 1e-9
+
+#: Seeded fit trajectory of cp_als(T(12,10,8; nnz=150; seed=42), rank=4,
+#: iterations=5, seed=7, tolerance=0).
+_CP_FITS = [
+    0.11160780868986775,
+    0.12703641227644002,
+    0.13724516185448865,
+    0.1490595732808081,
+    0.15782069401649013,
+]
+#: Sorted column weights after the final sweep.
+_CP_WEIGHTS = [
+    1.7917970257772893,
+    2.188581264087112,
+    2.3116347506911676,
+    2.672995635846958,
+]
+
+#: Seeded fit trajectory of tucker_hooi(same tensor, ranks=(3,3,2),
+#: iterations=4, seed=7, tolerance=0).
+_TUCKER_FITS = [
+    0.044939275804668166,
+    0.05398270429268737,
+    0.06257218832890754,
+    0.07844977580080692,
+]
+_TUCKER_CORE_NORM = 2.879782264670812
+
+
+@pytest.fixture
+def golden_tensor():
+    return random_sparse_tensor((12, 10, 8), nnz=150, seed=42)
+
+
+def test_cp_als_fit_trajectory_matches_golden(golden_tensor):
+    result = cp_als(golden_tensor, rank=4, iterations=5, seed=7, tolerance=0.0)
+    assert result.iterations == len(_CP_FITS)
+    np.testing.assert_allclose(result.fits, _CP_FITS, rtol=_RTOL, atol=_ATOL)
+    np.testing.assert_allclose(
+        np.sort(result.weights), _CP_WEIGHTS, rtol=_RTOL, atol=_ATOL
+    )
+    # fits must be monotonically non-decreasing on this workload — a sanity
+    # anchor independent of the stored constants
+    assert all(b >= a - 1e-12 for a, b in zip(result.fits, result.fits[1:]))
+
+
+def test_tucker_hooi_fit_trajectory_matches_golden(golden_tensor):
+    result = tucker_hooi(
+        golden_tensor, ranks=(3, 3, 2), iterations=4, seed=7, tolerance=0.0
+    )
+    assert result.iterations == len(_TUCKER_FITS)
+    np.testing.assert_allclose(result.fits, _TUCKER_FITS, rtol=_RTOL, atol=_ATOL)
+    np.testing.assert_allclose(
+        float(np.linalg.norm(result.core)), _TUCKER_CORE_NORM, rtol=_RTOL
+    )
+    assert all(b >= a - 1e-12 for a, b in zip(result.fits, result.fits[1:]))
+
+
+@pytest.mark.parametrize("engine", ["lowered", "interpret"])
+def test_golden_trajectories_stable_across_engines(
+    golden_tensor, engine, monkeypatch
+):
+    """The golden values must hold on both engine tiers (the apps follow
+    the ``REPRO_ENGINE`` process default)."""
+    monkeypatch.setenv("REPRO_ENGINE", engine)
+    result = cp_als(golden_tensor, rank=4, iterations=5, seed=7, tolerance=0.0)
+    np.testing.assert_allclose(result.fits, _CP_FITS, rtol=_RTOL, atol=_ATOL)

@@ -174,7 +174,14 @@ class TestScheduleCache:
         first = cached_schedule(kernel, cache=cache)
         second = cached_schedule(kernel, cache=cache)
         assert first is second
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "rejections": 0,
+            "bytes": 0,
+        }
 
     def test_schedule_cache_misses_on_different_stats(self):
         cache = PlanCache()
@@ -211,3 +218,79 @@ class TestCSFMemo:
         remode = csf_for_mode_order(csf, (0, 1, 2))
         assert remode.mode_order == (0, 1, 2)
         assert csf_for_mode_order(csf, (0, 1, 2)) is remode
+
+
+class TestMemoryBudget:
+    """Size-accounted LRU eviction and admission control (max_bytes)."""
+
+    def test_approx_nbytes_tracks_array_payload(self):
+        from repro.engine.plan_cache import approx_nbytes
+
+        small = approx_nbytes({"a": np.zeros(10)})
+        large = approx_nbytes({"a": np.zeros(10_000)})
+        assert large - small >= 9_000 * 8
+        # cycles terminate
+        lst = [1, 2]
+        lst.append(lst)
+        assert approx_nbytes(lst) > 0
+        # shared substructure is charged once per entry, not per reference
+        arr = np.zeros(10_000)
+        assert approx_nbytes([arr, arr]) < 2 * arr.nbytes
+
+    def test_byte_budget_evicts_lru(self):
+        cache = PlanCache(max_entries=None, max_bytes=3_000)
+        for i in range(6):
+            cache.get_or_create(("k", i), lambda: np.zeros(100))  # ~928 B each
+        stats = cache.stats()
+        assert stats["bytes"] <= 3_000
+        assert stats["evictions"] >= 1
+        assert ("k", 5) in cache  # newest survives
+        assert ("k", 0) not in cache  # oldest evicted
+
+    def test_oversized_value_not_admitted(self):
+        cache = PlanCache(max_entries=None, max_bytes=1_000)
+        value = cache.get_or_create(("big",), lambda: np.zeros(10_000))
+        assert value.shape == (10_000,)  # still served
+        assert len(cache) == 0
+        assert cache.stats()["rejections"] == 1
+
+    def test_unbudgeted_cache_skips_size_probe(self):
+        cache = PlanCache()
+        cache.get_or_create(("k",), lambda: np.zeros(1_000))
+        assert cache.stats()["bytes"] == 0  # no budget, no accounting
+
+    def test_executor_reaccounts_lazily_populated_plans(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        cache = PlanCache(max_entries=None, max_bytes=50_000_000)
+        executor = LoopNestExecutor(kernel, nest, plan_cache=cache)
+        executor.execute(tensors)
+        populated = cache.stats()["bytes"]
+        # the empty plan inserted before execution is tiny; the reaccount
+        # after the first execution must see the real (site/lowering) size
+        assert populated > 1_000
+
+    def test_budget_evicts_real_plans(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = _schedule_nest(kernel)
+        probe_cache = PlanCache(max_entries=None, max_bytes=50_000_000)
+        LoopNestExecutor(kernel, nest, plan_cache=probe_cache).execute(tensors)
+        one_plan = probe_cache.stats()["bytes"]
+
+        orders = list(enumerate_loop_orders(kernel, nest.path))[:4]
+        cache = PlanCache(max_entries=None, max_bytes=int(one_plan * 2.5))
+        for order in orders:
+            LoopNestExecutor(
+                kernel, LoopNest(nest.path, order), plan_cache=cache
+            ).execute(tensors)
+        stats = cache.stats()
+        assert stats["evictions"] >= 1
+        assert len(cache) < len(orders)
+        assert stats["bytes"] <= int(one_plan * 2.5)
+
+    def test_clear_resets_bytes(self):
+        cache = PlanCache(max_entries=None, max_bytes=10_000)
+        cache.get_or_create(("k",), lambda: np.zeros(100))
+        assert cache.stats()["bytes"] > 0
+        cache.clear()
+        assert cache.stats()["bytes"] == 0 and len(cache) == 0

@@ -13,7 +13,7 @@ These complement the example-based tests with randomized coverage of:
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.contraction_path import rank_contraction_paths
@@ -32,11 +32,9 @@ from repro.engine.reference import assert_same_result, reference_output
 from repro.sptensor import COOTensor, CSFTensor
 from repro.util.counters import OpCounter
 
-SETTINGS = settings(
-    max_examples=25,
-    deadline=None,
-    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
+#: Snapshot of the active profile from conftest.py (``ci`` by default,
+#: ``dev`` via HYPOTHESIS_PROFILE) — derandomized, unbounded deadline.
+SETTINGS = settings()
 
 
 # --------------------------------------------------------------------------- #
