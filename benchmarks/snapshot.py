@@ -1,0 +1,113 @@
+"""Record a condensed benchmark snapshot as a committed ``BENCH_*.json``.
+
+Runs the smoke tier of one or more benchmark modules under
+``pytest-benchmark``, condenses the raw report (timings plus the result
+rows each benchmark attaches via ``record_rows``) and writes it to
+``BENCH_<target>.json`` at the repository root, where it is committed as
+the measured reference for that subsystem.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/snapshot.py serve
+
+Targets map to benchmark modules: ``serve`` covers the serving layer
+(in-process batching *and* the daemon round trip); any other name runs
+``benchmarks/test_bench_<name>.py``.  Timings are machine-dependent —
+regenerate on the machine of record rather than editing the JSON by hand.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Targets bundling several modules into one snapshot; anything not listed
+#: resolves to the single module ``test_bench_<target>.py``.
+TARGETS = {
+    "serve": ["test_bench_serve.py", "test_bench_daemon.py"],
+}
+
+
+def _modules_for(target: str) -> list:
+    names = TARGETS.get(target, [f"test_bench_{target}.py"])
+    modules = [REPO_ROOT / "benchmarks" / name for name in names]
+    missing = [str(m) for m in modules if not m.exists()]
+    if missing:
+        raise SystemExit(f"no such benchmark module(s): {', '.join(missing)}")
+    return modules
+
+
+def _condense(raw: dict) -> dict:
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("name"),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+                "rows": bench.get("extra_info", {}).get("rows", []),
+            }
+        )
+    machine = raw.get("machine_info", {})
+    return {
+        "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": machine.get("python_version", platform.python_version()),
+        "machine": {
+            "system": machine.get("system", platform.system()),
+            "release": machine.get("release", ""),
+            "cpu_count": machine.get("cpu", {}).get("count"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def snapshot(target: str) -> Path:
+    """Run one target's smoke benchmarks and write its ``BENCH_*.json``."""
+    modules = _modules_for(target)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        report_path = Path(tmp.name)
+    try:
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(m) for m in modules],
+            "-m",
+            "smoke",
+            "-q",
+            f"--benchmark-json={report_path}",
+        ]
+        result = subprocess.run(command, cwd=REPO_ROOT)
+        if result.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+        raw = json.loads(report_path.read_text())
+    finally:
+        report_path.unlink(missing_ok=True)
+    out_path = REPO_ROOT / f"BENCH_{target}.json"
+    out_path.write_text(json.dumps(_condense(raw), indent=2) + "\n")
+    return out_path
+
+
+def main(argv=None) -> int:
+    """CLI entry point: snapshot every target named on the command line."""
+    targets = (argv if argv is not None else sys.argv[1:]) or ["serve"]
+    for target in targets:
+        path = snapshot(target)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

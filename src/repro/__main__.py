@@ -31,6 +31,13 @@ per-request re-planning)::
 
     python -m repro serve --requests 64 --workers 2 --mix mixed --compare-naive
 
+Run the network-facing serving daemon, then drive it from a second shell
+with a scripted client session (bit-identity check, stats, drain)::
+
+    python -m repro serve --daemon --port 7421 --workers 2
+    python -m repro serve --connect 127.0.0.1:7421 --requests 32 \
+        --verify --stats --shutdown
+
 Show (or clear) the process-wide plan/schedule cache statistics::
 
     python -m repro cache
@@ -305,17 +312,116 @@ def cmd_dist(args) -> int:
     return 0
 
 
-def cmd_serve(args) -> int:
-    """Drive the batched contraction service with a seeded request mix.
+def _cmd_serve_daemon(args) -> int:
+    """Run the network-facing serving daemon until SIGTERM/SIGINT."""
+    import asyncio
 
-    Generates ``--requests`` deterministic requests for the ``--mix``
-    scenario (kernels, shapes, dtypes and sparsities vary within the mix),
-    serves them through :class:`~repro.serve.ContractionService` on
-    ``--workers`` worker processes, and prints throughput, batching and
-    cache statistics.  ``--compare-naive`` also times the same requests
-    under naive per-request re-planning (no schedule/plan/executor reuse)
-    and prints the speedup of batched cached serving.
+    from repro.serve.daemon import ServeDaemon
+
+    daemon = ServeDaemon(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        engine=args.engine,
+        max_pending=args.max_pending,
+        client_quota=args.client_quota,
+    )
+
+    async def _run() -> None:
+        serve_task = asyncio.ensure_future(
+            daemon.serve(install_signal_handlers=True)
+        )
+        while daemon.address is None and not serve_task.done():
+            await asyncio.sleep(0.01)
+        if daemon.address is not None:
+            host, port = daemon.address
+            # parsed by scripted clients (tests, CI): keep the format stable
+            print(f"repro serve daemon listening on {host}:{port}", flush=True)
+            print(
+                f"engine={daemon.service.engine} "
+                f"workers={resolve_workers(daemon.service.workers)} "
+                f"max_pending={daemon.service.max_pending} "
+                f"client_quota={daemon.client_quota}",
+                flush=True,
+            )
+        await serve_task
+
+    asyncio.run(_run())
+    print("daemon drained and exited cleanly", flush=True)
+    return 0
+
+
+def _cmd_serve_connect(args) -> int:
+    """Scripted client session against a running daemon."""
+    import json
+
+    from repro.serve import ServeClient, execute_sequential, scenario_mix
+    from repro.sptensor import COOTensor
+
+    requests = scenario_mix(
+        args.requests, mix=args.mix, seed=args.seed, engine=args.engine
+    )
+    with ServeClient(args.connect, retry=args.retry) as client:
+        client.ping()
+        print(f"connected to {args.connect}")
+        if args.warmup:
+            client.run(requests)  # populate the daemon's process caches
+        start = time.perf_counter()
+        outputs = client.run(requests)
+        elapsed = time.perf_counter() - start
+        print(
+            f"served {args.requests} request(s), mix={args.mix!r}: "
+            f"{elapsed * 1e3:.1f} ms ({args.requests / elapsed:.1f} req/s "
+            f"round trip)"
+        )
+        if args.verify:
+            expected = execute_sequential(requests, engine=args.engine)
+            for i, (got, want) in enumerate(zip(outputs, expected)):
+                if isinstance(want, COOTensor):
+                    same = (
+                        isinstance(got, COOTensor)
+                        and np.array_equal(got.indices, want.indices)
+                        and np.array_equal(got.values, want.values)
+                    )
+                else:
+                    same = np.array_equal(np.asarray(got), np.asarray(want))
+                if not same:
+                    raise SystemExit(
+                        f"daemon result {i} differs from in-process serving"
+                    )
+            print(
+                f"verify: all {len(outputs)} daemon results bit-identical "
+                f"to in-process serving"
+            )
+        if args.show_stats:
+            print(json.dumps(client.stats(), indent=2, default=str))
+        if args.shutdown:
+            pending = client.shutdown_server()
+            print(f"daemon draining ({pending} pending) and shutting down")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve contraction requests: in-process driver, daemon, or client.
+
+    The default mode generates ``--requests`` deterministic requests for
+    the ``--mix`` scenario (kernels, shapes, dtypes and sparsities vary
+    within the mix), serves them through
+    :class:`~repro.serve.ContractionService` on ``--workers`` worker
+    processes, and prints throughput, batching and cache statistics;
+    ``--compare-naive`` also times naive per-request re-planning.
+    ``--daemon`` instead runs the asyncio TCP daemon on ``--host``/
+    ``--port`` until SIGTERM (see ``docs/PROTOCOL.md``), and
+    ``--connect HOST:PORT`` runs a scripted client session against a
+    daemon (``--verify`` asserts bit-identity to in-process serving,
+    ``--stats`` fetches the stats document, ``--shutdown`` drains it).
     """
+    if args.daemon and args.connect:
+        raise SystemExit("--daemon and --connect are mutually exclusive")
+    if args.daemon:
+        return _cmd_serve_daemon(args)
+    if args.connect:
+        return _cmd_serve_connect(args)
     from repro.serve import (
         ContractionService,
         ServiceStats,
@@ -543,6 +649,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_serve.add_argument(
         "--compare-naive", action="store_true",
         help="also time naive per-request re-planning and print the speedup",
+    )
+    p_serve.add_argument(
+        "--daemon", action="store_true",
+        help="run the network-facing serving daemon until SIGTERM "
+        "(newline-delimited JSON over TCP; see docs/PROTOCOL.md)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="daemon bind host (default 127.0.0.1)",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="daemon bind port (default 0 = ephemeral, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--max-pending", type=int, default=4096,
+        help="daemon admission bound: backlog + in-flight requests above "
+        "which submissions are rejected (default 4096)",
+    )
+    p_serve.add_argument(
+        "--client-quota", type=int, default=64,
+        help="daemon fairness bound: max in-flight requests per client "
+        "connection in one dispatch cycle (default 64)",
+    )
+    p_serve.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="run a scripted client session against a daemon instead of "
+        "serving in-process",
+    )
+    p_serve.add_argument(
+        "--retry", type=float, default=0.0,
+        help="with --connect: keep retrying the connection for this many "
+        "seconds (for scripts that race the daemon startup)",
+    )
+    p_serve.add_argument(
+        "--verify", action="store_true",
+        help="with --connect: assert daemon results are bit-identical to "
+        "in-process sequential serving",
+    )
+    p_serve.add_argument(
+        "--stats", dest="show_stats", action="store_true",
+        help="with --connect: fetch and print the daemon stats document",
+    )
+    p_serve.add_argument(
+        "--shutdown", action="store_true",
+        help="with --connect: ask the daemon to drain and shut down after "
+        "the session",
     )
     p_serve.set_defaults(func=cmd_serve, warmup=True)
 

@@ -216,6 +216,13 @@ class DistributedSpTTN:
         results: partials arrive in rank order from the order-preserving
         map and are combined by :meth:`_reduce` in a fixed order that
         depends only on the rank count.
+
+        Examples
+        --------
+        >>> dist = DistributedSpTTN(kernel, tensors)
+        >>> out = dist.execute(16)                # serial virtual ranks
+        >>> np.array_equal(out, dist.execute(16, workers=4))
+        True
         """
         grid = self.grid_for(n_procs)
         if self._partition is None or self._partition[0] != grid.dims:

@@ -422,6 +422,27 @@ def clear_caches() -> None:
     _DEFAULT_EXECUTOR_CACHE.clear()
 
 
+def caches_snapshot() -> Dict[str, Dict[str, int]]:
+    """One coherent stats snapshot of all three process-wide caches.
+
+    The canonical introspection document shared by ``repro cache``, the
+    serving layer's ``cache_stats`` and the daemon's ``stats`` endpoint:
+    a dict keyed ``plan``/``schedule``/``executor``, each value the
+    corresponding cache's entries/hits/misses/evictions/rejections/bytes
+    counters (:meth:`PlanCache.stats`).
+
+    Examples
+    --------
+    >>> caches_snapshot()["schedule"]["misses"]   # schedule searches paid
+    3
+    """
+    return {
+        "plan": _DEFAULT_PLAN_CACHE.stats(),
+        "schedule": _DEFAULT_SCHEDULE_CACHE.stats(),
+        "executor": _DEFAULT_EXECUTOR_CACHE.stats(),
+    }
+
+
 # --------------------------------------------------------------------------- #
 # Schedule caching
 # --------------------------------------------------------------------------- #
@@ -442,6 +463,13 @@ def cached_schedule(
     any kernel with the same signature.  Custom cost functions cannot be
     keyed, so use :class:`~repro.core.scheduler.SpTTNScheduler` directly
     for those.
+
+    Examples
+    --------
+    >>> kernel = parse_kernel("ijk,ja,ka->ia", [T, B, C])
+    >>> nest = cached_schedule(kernel).loop_nest    # search runs once
+    >>> nest is cached_schedule(kernel).loop_nest   # later calls hit
+    True
     """
     cache = cache if cache is not None else _DEFAULT_SCHEDULE_CACHE
     key = schedule_key(
@@ -489,6 +517,12 @@ def cached_executor(
     threads; pass ``cache=``\\ a private :class:`PlanCache` (or construct
     :class:`~repro.engine.executor.LoopNestExecutor` directly) for
     isolation.
+
+    Examples
+    --------
+    >>> nest = cached_schedule(kernel).loop_nest
+    >>> out = cached_executor(kernel, nest).execute(tensors)   # compiles
+    >>> out = cached_executor(kernel, nest).execute(tensors)   # plan reused
     """
     # Imported here: repro.engine.executor imports this module at load time.
     from repro.engine.executor import LoopNestExecutor, default_engine

@@ -22,7 +22,9 @@ from repro.runtime.pool import (
     WORKERS_ENV,
     WorkerPool,
     default_workers,
+    drain_pools,
     parallel_map,
+    pool_stats,
     resolve_workers,
     shared_pool,
     shutdown_pool,
@@ -40,7 +42,9 @@ __all__ = [
     "WORKERS_ENV",
     "WorkerPool",
     "default_workers",
+    "drain_pools",
     "parallel_map",
+    "pool_stats",
     "resolve_workers",
     "shared_pool",
     "shutdown_pool",

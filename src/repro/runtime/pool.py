@@ -96,6 +96,11 @@ class WorkerPool:
     def __init__(self, workers: Optional[int] = None) -> None:
         self.workers = resolve_workers(workers)
         self._pool = None
+        #: Lifetime counters: total map() calls, tasks mapped, and how many
+        #: of those calls ran (or re-ran) on the serial fallback path.
+        self.maps = 0
+        self.tasks = 0
+        self.serial_maps = 0
 
     @property
     def is_running(self) -> bool:
@@ -123,15 +128,19 @@ class WorkerPool:
         results.
         """
         items = list(items)
+        self.maps += 1
+        self.tasks += len(items)
         if (
             self.workers <= 1
             or len(items) < 2
             or multiprocessing.current_process().daemon
         ):
+            self.serial_maps += 1
             return [fn(x) for x in items]
         try:
             pickle.dumps(fn)
         except Exception:
+            self.serial_maps += 1
             return [fn(x) for x in items]
         if chunksize is None:
             chunksize = max(
@@ -150,6 +159,7 @@ class WorkerPool:
                 stacklevel=2,
             )
             self.close()
+            self.serial_maps += 1
             return [fn(x) for x in items]
 
     def close(self) -> None:
@@ -158,6 +168,29 @@ class WorkerPool:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+
+    def drain(self) -> None:
+        """Wait for outstanding tasks, then stop the workers.
+
+        The graceful sibling of :meth:`close`: the underlying pool is
+        closed (no new tasks) and *joined*, so tasks already dispatched run
+        to completion instead of being killed mid-map.  Used by the serving
+        daemon's shutdown path; a later :meth:`map` restarts the workers.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def stats(self) -> dict:
+        """Lifetime counters plus current worker state (stats endpoints)."""
+        return {
+            "workers": self.workers,
+            "running": self.is_running,
+            "maps": self.maps,
+            "tasks": self.tasks,
+            "serial_maps": self.serial_maps,
+        }
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -187,6 +220,14 @@ def shared_pool(workers: Optional[int] = None) -> WorkerPool:
     All library consumers (:func:`parallel_map`, the distributed runtime)
     funnel through these pools so worker processes — and the plan and
     schedule caches they accumulate — are shared across subsystems.
+
+    Examples
+    --------
+    >>> pool = shared_pool(4)                       # forked once
+    >>> pool.map(str, range(8)) == [str(x) for x in range(8)]
+    True
+    >>> shared_pool(4) is pool                      # warm reuse
+    True
     """
     n = resolve_workers(workers)
     pool = _SHARED_POOLS.get(n)
@@ -205,6 +246,30 @@ def shutdown_pool() -> None:
     while _SHARED_POOLS:
         _, pool = _SHARED_POOLS.popitem()
         pool.close()
+
+
+def drain_pools() -> None:
+    """Gracefully drain every process-wide pool (wait, then stop).
+
+    The serving daemon's shutdown hook: outstanding pool tasks finish,
+    worker processes exit cleanly, and — unlike :func:`shutdown_pool` —
+    nothing is killed mid-task.  Later consumers transparently refork.
+    """
+    while _SHARED_POOLS:
+        _, pool = _SHARED_POOLS.popitem()
+        pool.drain()
+
+
+def pool_stats() -> dict:
+    """Counters of every live shared pool, keyed by worker count.
+
+    The pool slice of the daemon's ``stats`` endpoint; serial consumers
+    (``REPRO_WORKERS`` unset) simply report no pools.
+    """
+    return {
+        "pools": {n: pool.stats() for n, pool in _SHARED_POOLS.items()},
+        "default_workers": resolve_workers(None),
+    }
 
 
 atexit.register(shutdown_pool)

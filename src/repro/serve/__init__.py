@@ -9,8 +9,23 @@
   the naive per-request-planning baseline.
 * :mod:`repro.serve.scenarios` — seeded request mixes for the
   ``repro serve`` load driver and the throughput benchmark.
+* :mod:`repro.serve.protocol` — the newline-delimited JSON wire protocol
+  (see ``docs/PROTOCOL.md``) shared by the daemon and the client.
+* :mod:`repro.serve.daemon` — :class:`ServeDaemon`: the asyncio TCP server
+  fronting a :class:`ContractionService` with backpressure, per-client
+  round-robin fairness, cross-client signature batching, streamed results
+  and graceful drain (``repro serve --daemon``).
+* :mod:`repro.serve.client` — :class:`ServeClient`: the blocking NDJSON
+  client used by ``repro serve --connect``, tests and benchmarks.
 """
 
+from repro.serve.client import PendingReply, ServeClient
+from repro.serve.daemon import (
+    DaemonHandle,
+    ServeDaemon,
+    start_daemon_thread,
+)
+from repro.serve.protocol import ProtocolError, ServeError
 from repro.serve.request import (
     ContractionRequest,
     all_mode_ttmc_request,
@@ -44,4 +59,11 @@ __all__ = [
     "ServiceStats",
     "execute_naive",
     "execute_sequential",
+    "DaemonHandle",
+    "PendingReply",
+    "ProtocolError",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "start_daemon_thread",
 ]

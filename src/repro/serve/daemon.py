@@ -1,0 +1,633 @@
+"""Network-facing asyncio daemon fronting the batched contraction service.
+
+:class:`ServeDaemon` turns the in-process :class:`~repro.serve.ContractionService`
+into a long-running TCP server speaking the newline-delimited JSON protocol
+of :mod:`repro.serve.protocol` (see ``docs/PROTOCOL.md``).  The event loop
+owns connections and admission; contraction work runs off-loop so the
+daemon keeps accepting, answering ``stats`` and applying backpressure while
+a batch executes:
+
+* **admission with backpressure** — every ``submit`` is validated (the
+  request's spec is parsed against its operands) and counted against the
+  service's ``max_pending`` bound *at receipt*; a full queue or an invalid
+  request raises :class:`~repro.serve.AdmissionError` internally and is
+  answered with a structured ``admission`` error reply, exactly mirroring
+  in-process :meth:`~repro.serve.ContractionService.submit`;
+* **per-client fairness** — admitted requests queue per connection and a
+  single dispatch task drains them round-robin (rotating the starting
+  client every cycle) with a per-client in-flight quota, so one chatty
+  client cannot starve the rest;
+* **batching across clients** — each dispatch cycle submits its drained
+  requests to the shared :class:`~repro.serve.ContractionService` and
+  flushes once, so requests from *different* connections that agree on the
+  plan-cache signature are served from one schedule search and one
+  compiled plan, exactly as in-process batching does;
+* **streaming results** — replies are written as each
+  :class:`~repro.serve.ServeFuture` resolves (the service resolves futures
+  group by group inside a flush), not when the whole flush returns, so
+  early groups stream back while later groups still execute;
+* **graceful shutdown** — ``SIGTERM``/``SIGINT`` (or a ``shutdown``
+  operation) stop the listener, drain every queued and in-flight request,
+  deliver all replies, close the connections and drain the shared worker
+  pool before the daemon exits.
+
+Examples
+--------
+Serve on a TCP port until SIGTERM (the ``repro serve --daemon`` CLI path)::
+
+    ServeDaemon(host="127.0.0.1", port=7421, workers=2).run()
+
+Tests and benchmarks embed the daemon in a background thread::
+
+    with start_daemon_thread(workers=0) as handle:
+        client = ServeClient(*handle.address)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.engine.plan_cache import caches_snapshot
+from repro.runtime import drain_pools, pool_stats
+from repro.serve import protocol
+from repro.serve.request import ContractionRequest
+from repro.serve.service import AdmissionError, ContractionService, ServeFuture
+
+#: Maximum NDJSON line length accepted from a client (64 MiB) — bounds the
+#: per-connection read buffer; operands above this must be split or served
+#: in process.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Default TCP port of ``repro serve --daemon``.
+DEFAULT_PORT = 7421
+
+
+class _QueuedItem:
+    """One admitted submit operation waiting in a connection's backlog."""
+
+    __slots__ = ("client", "msg_id", "request")
+
+    def __init__(
+        self, client: "_Client", msg_id: Any, request: ContractionRequest
+    ) -> None:
+        self.client = client
+        self.msg_id = msg_id
+        self.request = request
+
+
+class _Client:
+    """Per-connection state: backlog, in-flight count, outbound queue."""
+
+    __slots__ = (
+        "conn_id",
+        "writer",
+        "outbox",
+        "backlog",
+        "inflight",
+        "pending_ids",
+        "closed",
+    )
+
+    def __init__(self, conn_id: int, writer: asyncio.StreamWriter) -> None:
+        self.conn_id = conn_id
+        self.writer = writer
+        self.outbox: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.backlog: Deque[_QueuedItem] = deque()
+        self.inflight = 0
+        self.pending_ids: set = set()
+        self.closed = False
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Enqueue one reply for the writer task (no-op once closed)."""
+        if not self.closed:
+            self.outbox.put_nowait(protocol.dumps(message))
+
+
+@dataclass
+class DaemonStats:
+    """Daemon-level counters (the service and caches keep their own)."""
+
+    connections: int = 0
+    active_connections: int = 0
+    received: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    replied: int = 0
+    protocol_errors: int = 0
+    cycles: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for the ``stats`` reply."""
+        return {
+            "connections": self.connections,
+            "active_connections": self.active_connections,
+            "received": self.received,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "replied": self.replied,
+            "protocol_errors": self.protocol_errors,
+            "cycles": self.cycles,
+        }
+
+
+class ServeDaemon:
+    """Asyncio TCP server streaming batched contraction results.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (the bound
+        address is available as :attr:`address` once serving).
+    service:
+        The :class:`~repro.serve.ContractionService` to front (one is
+        constructed from *workers*/*engine*/*max_pending* when omitted).
+    workers, engine, max_pending:
+        Forwarded to the constructed service; ``max_pending`` is also the
+        daemon's backpressure bound across queued + in-flight requests.
+    client_quota:
+        Maximum in-flight requests per connection per dispatch cycle — the
+        fairness knob: a client beyond its quota waits for the next cycle
+        while other connections drain.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        service: Optional[ContractionService] = None,
+        workers: Optional[int] = None,
+        engine: Optional[str] = None,
+        max_pending: int = 4096,
+        client_quota: int = 64,
+    ) -> None:
+        if client_quota < 1:
+            raise ValueError("client_quota must be >= 1")
+        self.host = host
+        self.port = port
+        self.service = (
+            service
+            if service is not None
+            else ContractionService(
+                workers=workers, engine=engine, max_pending=max_pending
+            )
+        )
+        self.client_quota = client_quota
+        self.stats = DaemonStats()
+        #: Dispatch-cycle trace: one list of connection ids per cycle, in
+        #: drain order — the observable artifact of round-robin fairness
+        #: (tests assert on it; ``stats`` reports its length as ``cycles``).
+        self.dispatch_trace: List[List[int]] = []
+        self.address: Optional[Tuple[str, int]] = None
+        self._clients: "OrderedDict[int, _Client]" = OrderedDict()
+        self._next_conn_id = 0
+        self._inflight_total = 0
+        self._cycle = 0
+        self._draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._work: Optional[asyncio.Event] = None
+        self._gate: Optional[asyncio.Event] = None
+        self._writer_tasks: List[asyncio.Task] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def serve(
+        self,
+        started: Optional[threading.Event] = None,
+        install_signal_handlers: bool = False,
+    ) -> None:
+        """Run the daemon until a graceful shutdown completes.
+
+        *started* (if given) is set once the listener is bound and
+        :attr:`address` is valid.  With *install_signal_handlers*,
+        ``SIGTERM``/``SIGINT`` trigger the same drain-then-exit path as a
+        ``shutdown`` operation.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(signum, self.begin_shutdown)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-Unix loop: rely on the shutdown operation
+        if started is not None:
+            started.set()
+        try:
+            await self._dispatch_loop()
+        finally:
+            await self._close_everything()
+
+    def run(self) -> None:
+        """Blocking entry point: serve with signal handlers installed."""
+        asyncio.run(self.serve(install_signal_handlers=True))
+
+    def begin_shutdown(self) -> None:
+        """Stop accepting, then drain all pending work (idempotent).
+
+        Safe to call from the event loop (signal handler, ``shutdown``
+        operation); from other threads use ``call_soon_threadsafe``.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._gate is not None:
+            self._gate.set()  # a paused daemon must still drain on SIGTERM
+        if self._work is not None:
+            self._work.set()
+
+    def pause_dispatch(self) -> None:
+        """Hold the dispatch loop before its next cycle (testing hook)."""
+        assert self._gate is not None
+        self._gate.clear()
+
+    def resume_dispatch(self) -> None:
+        """Release a :meth:`pause_dispatch` hold (testing hook)."""
+        assert self._gate is not None
+        self._gate.set()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling (event-loop thread)
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn_id = self._next_conn_id
+        self._next_conn_id += 1
+        client = _Client(conn_id, writer)
+        self._clients[conn_id] = client
+        self.stats.connections += 1
+        self.stats.active_connections += 1
+        writer_task = asyncio.ensure_future(self._writer_loop(client))
+        self._writer_tasks.append(writer_task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line: unrecoverable framing loss
+                    client.send(
+                        protocol.error_reply(
+                            None,
+                            protocol.ERROR_PROTOCOL,
+                            f"line exceeds {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break  # EOF
+                if line.strip():
+                    self._handle_line(client, line)
+        finally:
+            self._drop_client(client)
+
+    def _handle_line(self, client: _Client, line: bytes) -> None:
+        """Decode and act on one inbound message (errors stay structured)."""
+        self.stats.received += 1
+        msg_id: Any = None
+        try:
+            message = protocol.loads(line)
+            msg_id = message.get("id")
+            op = message.get("op")
+            if op == "submit":
+                self._handle_submit(client, msg_id, message)
+            elif op == "stats":
+                client.send(protocol.stats_reply(msg_id, self.snapshot()))
+            elif op == "ping":
+                client.send(protocol.pong_reply(msg_id))
+            elif op == "shutdown":
+                client.send(protocol.shutdown_reply(msg_id, self._pending_total()))
+                self.begin_shutdown()
+            else:
+                raise protocol.ProtocolError(
+                    f"unknown op {op!r}; expected one of {protocol.OPS}"
+                )
+        except protocol.ProtocolError as exc:
+            # malformed traffic never kills the connection: reply with a
+            # structured error (id echoes when it was recoverable) and
+            # keep reading
+            self.stats.protocol_errors += 1
+            client.send(
+                protocol.error_reply(msg_id, protocol.ERROR_PROTOCOL, str(exc))
+            )
+
+    def _handle_submit(
+        self, client: _Client, msg_id: Any, message: Dict[str, Any]
+    ) -> None:
+        if msg_id is None:
+            raise protocol.ProtocolError("submit requires a non-null id")
+        if msg_id in client.pending_ids:
+            raise protocol.ProtocolError(
+                f"id {msg_id!r} is already in flight on this connection"
+            )
+        if self._draining:
+            self.stats.rejected += 1
+            client.send(
+                protocol.error_reply(
+                    msg_id, protocol.ERROR_SHUTDOWN, "daemon is draining"
+                )
+            )
+            return
+        request = protocol.decode_request(message.get("request"))
+        try:
+            self._admit(request)
+        except AdmissionError as exc:
+            self.stats.rejected += 1
+            client.send(
+                protocol.error_reply(msg_id, protocol.ERROR_ADMISSION, str(exc))
+            )
+            return
+        client.pending_ids.add(msg_id)
+        client.backlog.append(_QueuedItem(client, msg_id, request))
+        self.stats.admitted += 1
+        assert self._work is not None
+        self._work.set()
+
+    def _admit(self, request: ContractionRequest) -> None:
+        """Admission control: the service's bound and eager validation.
+
+        Raises :class:`~repro.serve.AdmissionError` — the same exception
+        and semantics as in-process ``submit`` — when the daemon-wide
+        pending count (queued + in-flight) has reached the service's
+        ``max_pending``, or when the request's spec fails to parse against
+        its operands.
+        """
+        if self._pending_total() >= self.service.max_pending:
+            raise AdmissionError(
+                f"queue full ({self.service.max_pending} pending); retry "
+                f"after results drain"
+            )
+        try:
+            request.build()
+        except Exception as exc:
+            raise AdmissionError(f"invalid request: {exc}") from exc
+
+    def _pending_total(self) -> int:
+        backlog = sum(len(c.backlog) for c in self._clients.values())
+        return backlog + self._inflight_total
+
+    def _drop_client(self, client: _Client) -> None:
+        """Forget a disconnected client without poisoning its batch.
+
+        Queued-but-undispatched requests are discarded; in-flight requests
+        keep executing (their futures belong to the whole batch) and their
+        replies are dropped at delivery.
+        """
+        if client.closed:
+            return
+        client.closed = True
+        client.backlog.clear()
+        self._clients.pop(client.conn_id, None)
+        self.stats.active_connections -= 1
+        try:
+            client.outbox.put_nowait(None)
+        except Exception:  # pragma: no cover - queue is unbounded
+            pass
+
+    async def _writer_loop(self, client: _Client) -> None:
+        """Drain one connection's outbox to its socket, in order."""
+        try:
+            while True:
+                payload = await client.outbox.get()
+                if payload is None:
+                    break
+                client.writer.write(payload)
+                await client.writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                client.writer.close()
+            except Exception:  # pragma: no cover - already closed
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Dispatch: round-robin drain -> service submit -> off-loop flush
+    # ------------------------------------------------------------------ #
+    async def _dispatch_loop(self) -> None:
+        assert self._work is not None and self._gate is not None
+        while True:
+            await self._work.wait()
+            await self._gate.wait()
+            self._work.clear()
+            batch = self._take_round_robin()
+            if not batch:
+                if self._draining and self._pending_total() == 0:
+                    return
+                continue
+            self.dispatch_trace.append([item.client.conn_id for item in batch])
+            self.stats.cycles += 1
+            await self._run_batch(batch)
+            if self._pending_total() > 0 or self._draining:
+                self._work.set()
+
+    def _take_round_robin(self) -> List[_QueuedItem]:
+        """Drain client backlogs fairly for one dispatch cycle.
+
+        Clients are visited in connection order starting from a rotating
+        offset; each pass takes one request per client, repeating until
+        every backlog is empty or at its ``client_quota`` of in-flight
+        requests.  The result interleaves clients deterministically, so a
+        connection with a deep backlog cannot occupy a whole cycle.
+        """
+        clients = [c for c in self._clients.values() if c.backlog]
+        if not clients:
+            return []
+        start = self._cycle % len(clients)
+        order = clients[start:] + clients[:start]
+        self._cycle += 1
+        batch: List[_QueuedItem] = []
+        took = True
+        while took:
+            took = False
+            for client in order:
+                if client.backlog and client.inflight < self.client_quota:
+                    item = client.backlog.popleft()
+                    client.inflight += 1
+                    self._inflight_total += 1
+                    batch.append(item)
+                    took = True
+        return batch
+
+    async def _run_batch(self, batch: List[_QueuedItem]) -> None:
+        """Submit one cycle's requests and flush the service off-loop."""
+        assert self._loop is not None
+        submitted = False
+        for item in batch:
+            try:
+                future = self.service.submit(item.request)
+            except AdmissionError as exc:
+                # unreachable through the daemon's own accounting unless the
+                # service is shared with in-process callers; keep the
+                # structured-reply contract either way
+                self.stats.rejected += 1
+                self._finish_item(
+                    item,
+                    protocol.error_reply(
+                        item.msg_id, protocol.ERROR_ADMISSION, str(exc)
+                    ),
+                )
+                continue
+            submitted = True
+            future.add_done_callback(self._make_streamer(item))
+        if submitted:
+            # flush in a worker thread: futures resolve group by group and
+            # their callbacks stream replies back through the loop while
+            # later groups are still executing
+            await self._loop.run_in_executor(None, self.service.flush)
+
+    def _make_streamer(self, item: _QueuedItem):
+        """Done-callback delivering one resolved future to its connection."""
+        assert self._loop is not None
+        loop = self._loop
+
+        def _on_done(future: ServeFuture) -> None:
+            try:
+                reply = protocol.result_reply(item.msg_id, future.result())
+            except RuntimeError as exc:
+                reply = protocol.error_reply(
+                    item.msg_id, protocol.ERROR_EXECUTION, str(exc)
+                )
+            loop.call_soon_threadsafe(self._finish_item, item, reply)
+
+        return _on_done
+
+    def _finish_item(self, item: _QueuedItem, reply: Dict[str, Any]) -> None:
+        """Deliver one reply on the loop thread and release its quota."""
+        item.client.inflight -= 1
+        self._inflight_total -= 1
+        item.client.pending_ids.discard(item.msg_id)
+        if not item.client.closed:
+            item.client.send(reply)
+            self.stats.replied += 1
+        assert self._work is not None
+        self._work.set()
+
+    # ------------------------------------------------------------------ #
+    # Introspection and teardown
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """One coherent stats document: daemon, service, caches, pool."""
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "draining": self._draining,
+            "pending": self._pending_total(),
+            "daemon": self.stats.as_dict(),
+            "service": self.service.stats.as_dict(),
+            "caches": caches_snapshot(),
+            "pool": pool_stats(),
+        }
+
+    async def _close_everything(self) -> None:
+        """Stop the listener, flush outboxes, close sockets, drain pools."""
+        if self._server is not None:
+            self._server.close()
+            try:
+                await self._server.wait_closed()
+            except Exception:  # pragma: no cover - platform dependent
+                pass
+        for client in list(self._clients.values()):
+            self._drop_client(client)
+        if self._writer_tasks:
+            await asyncio.gather(*self._writer_tasks, return_exceptions=True)
+        # the drain hook waits for outstanding pool tasks instead of
+        # terminating mid-map; a later in-process use refills the pools
+        await asyncio.get_running_loop().run_in_executor(None, drain_pools)
+
+
+# --------------------------------------------------------------------------- #
+# Embedding helper: daemon on a background thread (tests, benchmarks)
+# --------------------------------------------------------------------------- #
+class DaemonHandle:
+    """A running :class:`ServeDaemon` on a background thread.
+
+    Exposes the bound :attr:`address`, the daemon object (for stats and the
+    dispatch testing hooks, via ``call_soon_threadsafe``) and
+    :meth:`shutdown`; usable as a context manager.
+    """
+
+    def __init__(self, daemon: ServeDaemon, thread: threading.Thread) -> None:
+        self.daemon = daemon
+        self.thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The daemon's bound ``(host, port)``."""
+        assert self.daemon.address is not None
+        return self.daemon.address
+
+    def call(self, fn, *args) -> None:
+        """Run *fn* on the daemon's event loop thread (fire and forget)."""
+        assert self.daemon._loop is not None
+        self.daemon._loop.call_soon_threadsafe(fn, *args)
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Drain the daemon and join its thread (idempotent)."""
+        if self.thread.is_alive():
+            self.call(self.daemon.begin_shutdown)
+        self.thread.join(timeout)
+        if self.thread.is_alive():  # pragma: no cover - deadlock guard
+            raise RuntimeError("daemon thread did not exit within timeout")
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def start_daemon_thread(
+    host: str = "127.0.0.1", port: int = 0, timeout: float = 30.0, **kwargs
+) -> DaemonHandle:
+    """Start a :class:`ServeDaemon` on a daemon thread and wait until bound.
+
+    Keyword arguments are forwarded to :class:`ServeDaemon`; the default
+    ``port=0`` binds an ephemeral port.  Returns a :class:`DaemonHandle`
+    whose :attr:`~DaemonHandle.address` is ready to connect to.
+
+    Examples
+    --------
+    >>> with start_daemon_thread(workers=0) as handle:
+    ...     with ServeClient(*handle.address) as client:
+    ...         client.ping()
+    """
+    daemon = ServeDaemon(host=host, port=port, **kwargs)
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.run(daemon.serve(started=started))
+
+    thread = threading.Thread(target=_run, name="repro-serve-daemon", daemon=True)
+    thread.start()
+    if not started.wait(timeout):  # pragma: no cover - startup failure
+        raise RuntimeError("daemon failed to start within timeout")
+    return DaemonHandle(daemon, thread)
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "DaemonHandle",
+    "DaemonStats",
+    "ServeDaemon",
+    "start_daemon_thread",
+]

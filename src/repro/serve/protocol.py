@@ -1,0 +1,277 @@
+"""Newline-delimited JSON wire protocol of the serving daemon.
+
+Every message — in either direction — is one JSON object encoded as UTF-8
+on one ``\\n``-terminated line (NDJSON).  Clients send *operations*
+(``submit``, ``stats``, ``ping``, ``shutdown``) carrying a caller-chosen
+``id``; the daemon answers each operation with exactly one reply echoing
+that ``id``, but replies are **streamed** in completion order, not request
+order, so a client must demultiplex by ``id``.
+
+Tensor operands and results travel as exact bytes: arrays are encoded as
+``{"dtype", "shape", "data"}`` with ``data`` the base64 of the C-order
+buffer, so a round trip through the daemon is *bit-identical* to handing
+the same arrays to the in-process :class:`~repro.serve.ContractionService`.
+Sparse COO tensors ship their canonical (deduplicated, sorted)
+coordinate/value arrays and are rebuilt without a re-sort pass.
+
+The full message schemas, error codes and a copy-pasteable session are
+documented in ``docs/PROTOCOL.md``; this module is the single
+encoder/decoder both the daemon and the blocking client use.
+
+Examples
+--------
+>>> from repro.serve import mttkrp_request
+>>> from repro.serve.protocol import decode_request, encode_request
+>>> wire = encode_request(mttkrp_request(T, [B, C], mode=0))
+>>> request = decode_request(wire)     # bit-identical operands
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.serve.request import ContractionRequest
+from repro.sptensor.coo import COOTensor
+from repro.sptensor.dense import DenseTensor
+
+#: Protocol revision carried in ``hello``/stats replies; bump on breaking
+#: wire-format changes.
+PROTOCOL_VERSION = 1
+
+#: Client operations the daemon understands.
+OPS = ("submit", "stats", "ping", "shutdown")
+
+#: Structured error codes used in error replies.
+ERROR_PROTOCOL = "protocol"      # malformed JSON / unknown op / bad schema
+ERROR_ADMISSION = "admission"    # backpressure or invalid request spec
+ERROR_EXECUTION = "execution"    # the contraction itself failed
+ERROR_SHUTDOWN = "shutdown"      # daemon is draining; no new work accepted
+
+
+class ProtocolError(ValueError):
+    """A message violated the wire protocol (bad JSON, schema or types)."""
+
+
+class ServeError(RuntimeError):
+    """A structured error reply from the daemon, raised client-side.
+
+    Attributes
+    ----------
+    code:
+        One of the ``ERROR_*`` constants (``protocol``, ``admission``,
+        ``execution``, ``shutdown``).
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+# --------------------------------------------------------------------------- #
+# Array / tensor codecs
+# --------------------------------------------------------------------------- #
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """Encode one ndarray as ``{"dtype", "shape", "data"}`` (exact bytes)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(arr.dtype),
+        "shape": list(arr.shape),
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(obj: Any) -> np.ndarray:
+    """Rebuild an ndarray from :func:`encode_array` output (writable copy)."""
+    if not isinstance(obj, dict) or not {"dtype", "shape", "data"} <= set(obj):
+        raise ProtocolError("array must be an object with dtype/shape/data")
+    try:
+        dtype = np.dtype(obj["dtype"])
+        shape = tuple(int(d) for d in obj["shape"])
+        raw = base64.b64decode(obj["data"])
+        flat = np.frombuffer(raw, dtype=dtype)
+        return flat.reshape(shape).copy()
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed array: {exc}") from exc
+
+
+def encode_tensor(value: Union[np.ndarray, DenseTensor, COOTensor]) -> Dict[str, Any]:
+    """Encode one operand or result tensor (dense or sparse COO)."""
+    if isinstance(value, COOTensor):
+        return {
+            "kind": "sparse",
+            "shape": list(value.shape),
+            "indices": encode_array(value.indices),
+            "values": encode_array(value.values),
+        }
+    arr = value.data if isinstance(value, DenseTensor) else np.asarray(value)
+    encoded = encode_array(arr)
+    encoded["kind"] = "dense"
+    return encoded
+
+
+def decode_tensor(obj: Any) -> Union[np.ndarray, COOTensor]:
+    """Rebuild one tensor from :func:`encode_tensor` output.
+
+    Sparse tensors are rebuilt with ``sort=False``: the wire format carries
+    the canonical (deduplicated, lexicographically sorted) arrays, so the
+    constructor's sort pass is skipped and the round trip is bit-exact.
+    """
+    if not isinstance(obj, dict) or "kind" not in obj:
+        raise ProtocolError("tensor must be an object with a 'kind' field")
+    kind = obj["kind"]
+    if kind == "dense":
+        return decode_array(obj)
+    if kind == "sparse":
+        try:
+            shape = tuple(int(d) for d in obj["shape"])
+        except Exception as exc:
+            raise ProtocolError(f"malformed sparse shape: {exc}") from exc
+        indices = decode_array(obj.get("indices"))
+        values = decode_array(obj.get("values"))
+        try:
+            return COOTensor(shape, indices, values, sort=False)
+        except Exception as exc:
+            raise ProtocolError(f"malformed sparse tensor: {exc}") from exc
+    raise ProtocolError(f"unknown tensor kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Request codec
+# --------------------------------------------------------------------------- #
+def encode_request(request: ContractionRequest) -> Dict[str, Any]:
+    """Encode one :class:`~repro.serve.ContractionRequest` for the wire."""
+    encoded: Dict[str, Any] = {
+        "spec": request.spec,
+        "kind": request.kind,
+        "operands": [encode_tensor(op) for op in request.operands],
+    }
+    if request.names is not None:
+        encoded["names"] = list(request.names)
+    if request.engine is not None:
+        encoded["engine"] = request.engine
+    return encoded
+
+
+def decode_request(obj: Any) -> ContractionRequest:
+    """Rebuild a :class:`~repro.serve.ContractionRequest` from the wire."""
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be an object")
+    spec = obj.get("spec")
+    operands = obj.get("operands")
+    if not isinstance(spec, str) or not spec:
+        raise ProtocolError("request.spec must be a non-empty string")
+    if not isinstance(operands, list) or not operands:
+        raise ProtocolError("request.operands must be a non-empty array")
+    names = obj.get("names")
+    if names is not None and (
+        not isinstance(names, list) or not all(isinstance(n, str) for n in names)
+    ):
+        raise ProtocolError("request.names must be an array of strings")
+    engine = obj.get("engine")
+    if engine is not None and not isinstance(engine, str):
+        raise ProtocolError("request.engine must be a string")
+    kind = obj.get("kind", "spec")
+    if not isinstance(kind, str):
+        raise ProtocolError("request.kind must be a string")
+    return ContractionRequest(
+        spec=spec,
+        operands=tuple(decode_tensor(op) for op in operands),
+        names=tuple(names) if names is not None else None,
+        engine=engine,
+        kind=kind,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Message framing and reply builders
+# --------------------------------------------------------------------------- #
+def dumps(message: Dict[str, Any]) -> bytes:
+    """Serialize one message to a ``\\n``-terminated UTF-8 NDJSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def loads(line: Union[bytes, str]) -> Dict[str, Any]:
+    """Parse one NDJSON line into a message object; raises ProtocolError."""
+    try:
+        message = json.loads(line)
+    except Exception as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def result_reply(msg_id: Any, output: Union[np.ndarray, COOTensor]) -> Dict[str, Any]:
+    """Success reply carrying one contraction result."""
+    return {"id": msg_id, "ok": True, "result": encode_tensor(output)}
+
+
+def error_reply(msg_id: Any, code: str, message: str) -> Dict[str, Any]:
+    """Structured error reply (``id`` is null when unrecoverable)."""
+    return {"id": msg_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def stats_reply(msg_id: Any, stats: Dict[str, Any]) -> Dict[str, Any]:
+    """Reply to a ``stats`` operation."""
+    return {"id": msg_id, "ok": True, "stats": stats}
+
+
+def pong_reply(msg_id: Any) -> Dict[str, Any]:
+    """Reply to a ``ping`` operation."""
+    return {"id": msg_id, "ok": True, "pong": True, "version": PROTOCOL_VERSION}
+
+
+def shutdown_reply(msg_id: Any, draining: int) -> Dict[str, Any]:
+    """Acknowledgement of a ``shutdown`` operation (*draining* = pending)."""
+    return {"id": msg_id, "ok": True, "draining": draining}
+
+
+def raise_if_error(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Client-side guard: raise :class:`ServeError` on an error reply."""
+    if message.get("ok", False):
+        return message
+    error = message.get("error") or {}
+    raise ServeError(
+        str(error.get("code", "protocol")), str(error.get("message", "unknown error"))
+    )
+
+
+def decode_result(message: Dict[str, Any]) -> Union[np.ndarray, COOTensor]:
+    """Extract and decode the tensor payload of one success reply."""
+    raise_if_error(message)
+    if "result" not in message:
+        raise ProtocolError("reply carries no result payload")
+    return decode_tensor(message["result"])
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ERROR_PROTOCOL",
+    "ERROR_ADMISSION",
+    "ERROR_EXECUTION",
+    "ERROR_SHUTDOWN",
+    "ProtocolError",
+    "ServeError",
+    "encode_array",
+    "decode_array",
+    "encode_tensor",
+    "decode_tensor",
+    "encode_request",
+    "decode_request",
+    "dumps",
+    "loads",
+    "result_reply",
+    "error_reply",
+    "stats_reply",
+    "pong_reply",
+    "shutdown_reply",
+    "raise_if_error",
+    "decode_result",
+]

@@ -93,7 +93,18 @@ def mttkrp_request(
     mode: int = 0,
     engine: Optional[str] = None,
 ) -> ContractionRequest:
-    """Mode-*mode* MTTKRP request (*factors* exclude the target mode)."""
+    """Mode-*mode* MTTKRP request (*factors* exclude the target mode).
+
+    Examples
+    --------
+    >>> T = random_sparse_tensor((50, 40, 30), nnz=500, seed=0)
+    >>> B, C = np.ones((40, 8)), np.ones((30, 8))
+    >>> request = mttkrp_request(T, [B, C], mode=0)
+    >>> request.spec
+    'ijk,jr,kr->ir'
+    >>> service.submit(request).result().shape
+    (50, 8)
+    """
     order = sparse_order_of(tensor)
     return _named(
         "mttkrp", mttkrp_spec(order, mode), [tensor, *factors], engine
@@ -106,7 +117,14 @@ def ttmc_request(
     mode: int = 0,
     engine: Optional[str] = None,
 ) -> ContractionRequest:
-    """Mode-*mode* TTMc request (*factors* exclude the target mode)."""
+    """Mode-*mode* TTMc request (*factors* exclude the target mode).
+
+    Examples
+    --------
+    >>> request = ttmc_request(T, [B, C], mode=0)   # order-3 T: ijk,jr,ks->irs
+    >>> service.submit(request).result().shape
+    (50, 8, 8)
+    """
     order = sparse_order_of(tensor)
     return _named("ttmc", ttmc_spec(order, mode), [tensor, *factors], engine)
 
@@ -126,7 +144,14 @@ def tttp_request(
     factors: Sequence[DenseLike],
     engine: Optional[str] = None,
 ) -> ContractionRequest:
-    """TTTP request (one factor per mode, sparse-pattern output)."""
+    """TTTP request (one factor per mode, sparse-pattern output).
+
+    Examples
+    --------
+    >>> request = tttp_request(T, [A, B, C])        # ijk,ir,jr,kr->ijk
+    >>> service.submit(request).result().nnz == T.nnz
+    True
+    """
     order = sparse_order_of(tensor)
     return _named("tttp", tttp_spec(order), [tensor, *factors], engine)
 

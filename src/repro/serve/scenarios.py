@@ -71,6 +71,7 @@ def scenario_mix(
     factor_pool: Dict[Tuple[int, int, int, str], np.ndarray] = {}
 
     def factor(tensor_i: int, mode: int, rank: int, dtype: str) -> np.ndarray:
+        """Pooled dense factor for one (tensor, mode, rank, dtype) slot."""
         key = (tensor_i, mode, rank, dtype)
         if key not in factor_pool:
             dim = tensors[tensor_i].shape[mode]
@@ -79,6 +80,7 @@ def scenario_mix(
         return factor_pool[key]
 
     def core(tensor_i: int, pos: int, rank: int, dtype: str) -> np.ndarray:
+        """Pooled tensor-train core for one (tensor, position) slot."""
         shape = tt_core_shapes(tensors[tensor_i].shape, rank)[pos]
         key = (tensor_i, 100 + pos, rank, dtype)
         if key not in factor_pool:

@@ -60,9 +60,7 @@ from repro.engine.executor import (
 from repro.engine.plan_cache import (
     cached_executor,
     cached_schedule,
-    default_executor_cache,
-    default_plan_cache,
-    default_schedule_cache,
+    caches_snapshot,
     operand_signature,
     schedule_key,
 )
@@ -141,25 +139,54 @@ class ServeFuture:
     :meth:`~ContractionService.flush` (the service is synchronous — there
     is no background thread), then returns the output or raises
     ``RuntimeError`` if that request failed during execution.
+
+    Done callbacks registered with :meth:`add_done_callback` fire as soon
+    as the future resolves — *inside* the flush, in whatever thread runs
+    it — which is how the serving daemon streams results per signature
+    group instead of waiting for the whole flush to return.
     """
 
-    __slots__ = ("request", "_service", "_done", "_value")
+    __slots__ = ("request", "_service", "_done", "_value", "_callbacks")
 
     def __init__(self, request: ContractionRequest, service: "ContractionService"):
         self.request = request
         self._service = service
         self._done = False
         self._value: object = None
+        self._callbacks: List[object] = []
 
     @property
     def done(self) -> bool:
+        """Whether this future has been resolved by a flush."""
         return self._done
+
+    def add_done_callback(self, fn) -> None:
+        """Call ``fn(self)`` once resolved (immediately if already done).
+
+        Callbacks run in the thread executing the flush and must not
+        raise; exceptions are swallowed so one subscriber cannot poison
+        the batch that is still resolving.
+        """
+        if self._done:
+            self._invoke(fn)
+        else:
+            self._callbacks.append(fn)
+
+    def _invoke(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # subscriber bugs must not break the flush
+            pass
 
     def _resolve(self, value: object) -> None:
         self._done = True
         self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            self._invoke(fn)
 
     def result(self) -> Output:
+        """Flush the service if needed and return (or raise) this result."""
         if not self._done:
             self._service.flush()
         assert self._done, "flush() must resolve every pending future"
@@ -189,6 +216,7 @@ class ServiceStats:
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view of the counters (stats replies, CLI printing)."""
         return {
             "submitted": self.submitted,
             "rejected": self.rejected,
@@ -280,6 +308,14 @@ class ContractionService:
     max_pending:
         Queue bound; :meth:`submit` raises :class:`AdmissionError` when the
         queue is full.
+
+    Examples
+    --------
+    >>> service = ContractionService(workers=2)
+    >>> futures = [service.submit(mttkrp_request(T, [B, C], mode=0)),
+    ...            service.submit(ContractionRequest("ijk,ir,js->rs", (T, U, V)))]
+    >>> service.flush()                      # or futures[0].result()
+    >>> outputs = [f.result() for f in futures]
     """
 
     def __init__(
@@ -307,6 +343,7 @@ class ContractionService:
     # ------------------------------------------------------------------ #
     @property
     def pending(self) -> int:
+        """Number of admitted requests waiting for the next flush."""
         return len(self._pending)
 
     def _signature(
@@ -352,6 +389,7 @@ class ContractionService:
     def submit_many(
         self, requests: Sequence[ContractionRequest]
     ) -> List[ServeFuture]:
+        """Admit several requests in order; returns one future each."""
         return [self.submit(r) for r in requests]
 
     # ------------------------------------------------------------------ #
@@ -536,11 +574,7 @@ class ContractionService:
     @staticmethod
     def cache_stats() -> Dict[str, Dict[str, int]]:
         """Hit/miss/eviction/bytes stats of the process-wide caches."""
-        return {
-            "plan": default_plan_cache().stats(),
-            "schedule": default_schedule_cache().stats(),
-            "executor": default_executor_cache().stats(),
-        }
+        return caches_snapshot()
 
 
 # --------------------------------------------------------------------------- #
