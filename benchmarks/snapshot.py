@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -32,7 +33,34 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: resolves to the single module ``test_bench_<target>.py``.
 TARGETS = {
     "serve": ["test_bench_serve.py", "test_bench_daemon.py"],
+    "obs": ["test_bench_obs.py"],
 }
+
+
+def _git_commit() -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return "unknown"
 
 
 def _modules_for(target: str) -> list:
@@ -63,11 +91,20 @@ def _condense(raw: dict) -> dict:
         "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(
             timespec="seconds"
         ),
+        "commit": _git_commit(),
         "python": machine.get("python_version", platform.python_version()),
+        "numpy": _numpy_version(),
         "machine": {
             "system": machine.get("system", platform.system()),
             "release": machine.get("release", ""),
             "cpu_count": machine.get("cpu", {}).get("count"),
+        },
+        # REPRO_* knobs (workers, engine, cache budget, tracing) change what
+        # a snapshot measures; stamping them makes two snapshots comparable.
+        "env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_")
         },
         "benchmarks": benchmarks,
     }

@@ -75,6 +75,7 @@ from repro.frameworks import (
     SpTTNCyclopsBaseline,
     TacoLikeBaseline,
 )
+from repro.obs import disable_tracing, enable_tracing, write_trace
 from repro.serve.scenarios import MIXES
 from repro.sptensor import dataset_presets, random_dense_matrix, random_sparse_tensor, read_tns
 
@@ -146,6 +147,8 @@ def cmd_run(args) -> int:
     kernel = parse_kernel(args.spec, operands)
     mapping = {op.name: t for op, t in zip(kernel.operands, operands)}
 
+    if args.trace:
+        enable_tracing()
     systems = ["spttn"] + [s for s in (args.compare or []) if s in _BASELINES]
     print(f"\n{'system':>12s} {'time [ms]':>12s} {'flops':>14s}")
     for name in systems:
@@ -165,6 +168,10 @@ def cmd_run(args) -> int:
             flops = result.counter.flops
             best = result.seconds if best is None else min(best, result.seconds)
         print(f"{name:>12s} {best * 1e3:12.2f} {flops:14,d}")
+    if args.trace:
+        path = write_trace(args.trace)
+        disable_tracing()
+        print(f"\nwrote Chrome-trace JSON to {path} (open in Perfetto)")
     return 0
 
 
@@ -325,6 +332,7 @@ def _cmd_serve_daemon(args) -> int:
         engine=args.engine,
         max_pending=args.max_pending,
         client_quota=args.client_quota,
+        trace_dir=args.trace_dir,
     )
 
     async def _run() -> None:
@@ -395,6 +403,8 @@ def _cmd_serve_connect(args) -> int:
             )
         if args.show_stats:
             print(json.dumps(client.stats(), indent=2, default=str))
+        if args.show_metrics:
+            print(client.metrics(format="prometheus"), end="")
         if args.shutdown:
             pending = client.shutdown_server()
             print(f"daemon draining ({pending} pending) and shutting down")
@@ -437,9 +447,15 @@ def cmd_serve(args) -> int:
     if args.warmup:
         service.run(requests)  # populate schedule/plan/executor caches
         service.stats = ServiceStats()  # report the timed pass only
+    if args.trace:
+        enable_tracing()
     start = time.perf_counter()
     service.run(requests)
     served_s = time.perf_counter() - start
+    if args.trace:
+        path = write_trace(args.trace)
+        disable_tracing()
+        print(f"wrote Chrome-trace JSON to {path} (open in Perfetto)")
 
     stats = service.stats
     print(f"\nserved {args.requests} request(s), mix={args.mix!r}, "
@@ -490,7 +506,13 @@ def cmd_cache(args) -> int:
     counters as well.  The plan cache's byte accounting (the
     ``REPRO_PLAN_CACHE_BYTES`` LRU memory budget) is shown in the ``bytes``
     column; ``rejections`` counts oversized entries refused admission.
+
+    Per-plan-signature timing records (count, total, min, mean, max per
+    executed plan) accumulated by the executor are printed below the cache
+    table whenever any exist; ``--clear`` drops them too.
     """
+    from repro.engine.plan_cache import clear_plan_timings, plan_timings_snapshot
+
     caches = {
         "plan": default_plan_cache(),
         "schedule": default_schedule_cache(),
@@ -498,13 +520,27 @@ def cmd_cache(args) -> int:
     }
     if args.clear:
         clear_caches()
-        print("cleared all cached plans, schedules and executors")
+        clear_plan_timings()
+        print("cleared all cached plans, schedules, executors and plan timings")
     if args.reset_stats:
         for cache in caches.values():
             cache.reset_stats()
         print("reset cache statistics")
     print()
     _print_cache_stats({name: cache.stats() for name, cache in caches.items()})
+    rows = plan_timings_snapshot()
+    if rows:
+        print(f"\nper-plan timings ({len(rows)} signature(s), by total time):")
+        print(
+            f"{'digest':>18s} {'engine':>8s} {'count':>6s} {'total [ms]':>11s} "
+            f"{'mean [ms]':>10s} {'max [ms]':>9s}  plan"
+        )
+        for row in rows[: args.top]:
+            print(
+                f"{row['digest']:>18s} {row['engine']:>8s} {row['count']:6d} "
+                f"{row['total_s'] * 1e3:11.2f} {row['mean_s'] * 1e3:10.3f} "
+                f"{row['max_s'] * 1e3:9.2f}  {row['plan']}"
+            )
     return 0
 
 
@@ -552,6 +588,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--engine", choices=ENGINES, default=None,
         help="execution engine for the spttn system (default: REPRO_ENGINE "
         "environment variable, else 'lowered')",
+    )
+    p_run.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record spans for the run and write a Chrome-trace JSON file "
+        "(loadable in Perfetto / chrome://tracing)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -693,9 +734,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="with --connect: fetch and print the daemon stats document",
     )
     p_serve.add_argument(
+        "--metrics", dest="show_metrics", action="store_true",
+        help="with --connect: fetch and print the daemon metrics in "
+        "Prometheus text exposition format",
+    )
+    p_serve.add_argument(
         "--shutdown", action="store_true",
         help="with --connect: ask the daemon to drain and shut down after "
         "the session",
+    )
+    p_serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="in-process mode: record spans for the timed pass and write a "
+        "Chrome-trace JSON file (loadable in Perfetto)",
+    )
+    p_serve.add_argument(
+        "--trace-dir", metavar="DIR", default=None,
+        help="with --daemon: enable tracing and write a Chrome-trace JSON "
+        "file into DIR at shutdown (default: the REPRO_TRACE_DIR "
+        "environment variable)",
     )
     p_serve.set_defaults(func=cmd_serve, warmup=True)
 
@@ -706,6 +763,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="drop all cached plans and schedules")
     p_cache.add_argument("--reset-stats", action="store_true",
                          help="zero the hit/miss/eviction counters")
+    p_cache.add_argument("--top", type=int, default=20,
+                         help="per-plan timing rows to print (default 20)")
     p_cache.set_defaults(func=cmd_cache)
 
     p_data = sub.add_parser("datasets", help="list the FROSTT dataset presets")

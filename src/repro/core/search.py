@@ -40,6 +40,7 @@ from repro.core.cost_model import ExecutionCost, TreeSeparableCost, evaluate_cos
 from repro.core.enumeration import enumerate_loop_orders
 from repro.core.expr import SpTTNKernel
 from repro.core.loop_nest import LoopNest
+from repro.obs.trace import span as _obs_span
 from repro.runtime import parallel_map, resolve_workers  # noqa: F401 - re-export
 from repro.util.validation import require
 
@@ -193,7 +194,13 @@ def _sweep(
     evaluator: Callable[[LoopNest], float],
     workers: Optional[int],
 ) -> SweepResult:
-    values = parallel_map(evaluator, nests, workers=workers)
+    with _obs_span(
+        "sweep",
+        "scheduler",
+        candidates=len(nests),
+        workers=resolve_workers(workers),
+    ):
+        values = parallel_map(evaluator, nests, workers=workers)
     entries = [
         SweepEntry(index=i, nest=nest, value=float(value))
         for i, (nest, value) in enumerate(zip(nests, values))

@@ -45,6 +45,7 @@ outputs and sparse-pattern outputs (TTTP/SDDMM-style) are both supported.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -73,7 +74,9 @@ from repro.engine.plan_cache import (
     default_plan_cache,
     operand_signature,
     plan_key,
+    record_plan_timing,
 )
+from repro.obs.trace import span as _span
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.csf import CSFTensor, csf_for_mode_order
 from repro.sptensor.dense import DenseTensor
@@ -194,28 +197,33 @@ class LoopNestExecutor:
         in place between calls is not observed — build a new tensor with
         :meth:`~repro.sptensor.coo.COOTensor.with_values` instead.
         """
-        self._prepare(tensors)
-        plan = self._plan
-        assert plan is not None and self._csf is not None
-        plan_state = (plan.n_sites, plan.lowered is not None)
-        self.last_engine = "interpret"
-        if self.engine == "lowered" and self._csf.nnz > 0:
-            if plan.lowered is None:
-                program = lower_plan(self)
-                plan.lowered = program if program is not None else False
-            if plan.lowered is not False:
-                run_program(
-                    plan.lowered,
-                    self._csf,
-                    self._dense,
-                    self._out_dense,
-                    self._out_values,
-                    self.counter,
-                )
-                self.last_engine = "lowered"
-        if self.last_engine == "interpret":
-            positions = tuple(range(len(self.path)))
-            self._run(positions, 0, {}, -1, 0)
+        start = time.perf_counter()
+        with _span("execute", "engine", engine=self.engine):
+            self._prepare(tensors)
+            plan = self._plan
+            assert plan is not None and self._csf is not None
+            plan_state = (plan.n_sites, plan.lowered is not None)
+            self.last_engine = "interpret"
+            if self.engine == "lowered" and self._csf.nnz > 0:
+                if plan.lowered is None:
+                    program = lower_plan(self)
+                    plan.lowered = program if program is not None else False
+                if plan.lowered is not False:
+                    run_program(
+                        plan.lowered,
+                        self._csf,
+                        self._dense,
+                        self._out_dense,
+                        self._out_values,
+                        self.counter,
+                    )
+                    self.last_engine = "lowered"
+            if self.last_engine == "interpret":
+                positions = tuple(range(len(self.path)))
+                self._run(positions, 0, {}, -1, 0)
+        record_plan_timing(
+            plan.key, self.last_engine, time.perf_counter() - start
+        )
         if self.kernel.output.is_sparse:
             result: Union[np.ndarray, COOTensor] = self._sparse_output()
         else:

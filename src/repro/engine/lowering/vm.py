@@ -18,6 +18,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.engine.lowering import ir
+from repro.obs.trace import span as _span
 from repro.sptensor.csf import CSFTensor
 from repro.util.counters import OpCounter
 
@@ -177,6 +178,18 @@ def run_program(
     The caller guarantees ``csf.nnz > 0`` (an empty tensor runs zero
     interpreted iterations, which the executor handles without the VM).
     """
+    with _span("run_program", "vm", ops=len(program.ops), nnz=csf.nnz):
+        _run_ops(program, csf, dense, out_dense, out_values, counter)
+
+
+def _run_ops(
+    program: ir.Program,
+    csf: CSFTensor,
+    dense: Mapping[str, np.ndarray],
+    out_dense: Optional[np.ndarray],
+    out_values: Optional[np.ndarray],
+    counter: OpCounter,
+) -> None:
     frame = _Frame(csf, dense, out_dense, out_values, counter)
     regs: list = [None] * program.n_regs
     for op in program.ops:

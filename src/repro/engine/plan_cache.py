@@ -32,14 +32,18 @@ is safe.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import sys
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.core.expr import SpTTNKernel
+from repro.obs.metrics import register_source
+from repro.obs.trace import span as _span
 from repro.core.loop_nest import LoopNest
 from repro.core.scheduler import Schedule, SpTTNScheduler
 from repro.sptensor.coo import COOTensor
@@ -264,11 +268,13 @@ class PlanCache:
         max_entries: Optional[int] = 512,
         max_bytes: Optional[int] = None,
         size_of: Optional[Callable[[object], int]] = None,
+        name: str = "cache",
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be None or >= 1")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be None or >= 1")
+        self.name = name
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.size_of = size_of if size_of is not None else approx_nbytes
@@ -318,7 +324,8 @@ class PlanCache:
             self._entries.move_to_end(key)
             return value
         self.misses += 1
-        value = factory()
+        with _span("build", "cache", cache=self.name):
+            value = factory()
         size = self._measure(value)
         if self.max_bytes is not None and size > self.max_bytes:
             # admission control: serve the value, never cache it
@@ -395,9 +402,9 @@ def _env_plan_cache_bytes() -> Optional[int]:
     return value if value > 0 else None
 
 
-_DEFAULT_PLAN_CACHE = PlanCache(max_bytes=_env_plan_cache_bytes())
-_DEFAULT_SCHEDULE_CACHE = PlanCache(max_entries=256)
-_DEFAULT_EXECUTOR_CACHE = PlanCache(max_entries=128)
+_DEFAULT_PLAN_CACHE = PlanCache(max_bytes=_env_plan_cache_bytes(), name="plan")
+_DEFAULT_SCHEDULE_CACHE = PlanCache(max_entries=256, name="schedule")
+_DEFAULT_EXECUTOR_CACHE = PlanCache(max_entries=128, name="executor")
 
 
 def default_plan_cache() -> PlanCache:
@@ -444,6 +451,123 @@ def caches_snapshot() -> Dict[str, Dict[str, int]]:
 
 
 # --------------------------------------------------------------------------- #
+# Per-plan-signature execution timings
+# --------------------------------------------------------------------------- #
+def describe_plan_key(key: PlanKey) -> str:
+    """Short human-readable label of one plan key: spec plus loop orders."""
+    try:
+        kernel_sig, _path, orders = key[0], key[1], key[2]
+        operands, output = kernel_sig[0], kernel_sig[1]
+        spec = (
+            ",".join("".join(op[1]) for op in operands)
+            + "->"
+            + "".join(output[1])
+        )
+        order_s = ";".join(",".join(order) for order in orders)
+        return f"{spec} [{order_s}]"
+    except Exception:  # foreign key shapes must not break introspection
+        return repr(key)[:80]
+
+
+class PlanTimings:
+    """Measured execution times accumulated per plan signature.
+
+    The calibration feed for measurement-driven autotuning (ROADMAP item
+    4): every :meth:`~repro.engine.executor.LoopNestExecutor.execute` call
+    records its wall-clock time under ``(plan key, engine actually run)``,
+    and :meth:`snapshot` reports count/total/min/mean/max per signature —
+    visible via ``repro cache``, the service stats and the daemon's
+    ``stats``/``metrics`` operations.
+
+    Thread-safe: serving flushes record from worker threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # key -> [count, total, min, max]
+        self._records: Dict[Tuple[PlanKey, str], List[float]] = {}
+
+    def record(self, key: PlanKey, engine: str, seconds: float) -> None:
+        """Account one execution of *key* on *engine*."""
+        with self._lock:
+            rec = self._records.get((key, engine))
+            if rec is None:
+                self._records[(key, engine)] = [1, seconds, seconds, seconds]
+            else:
+                rec[0] += 1
+                rec[1] += seconds
+                rec[2] = min(rec[2], seconds)
+                rec[3] = max(rec[3], seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def clear(self) -> None:
+        """Drop every accumulated record."""
+        with self._lock:
+            self._records.clear()
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """JSON-safe rows sorted by total time descending.
+
+        Each row carries a stable ``digest`` of the structural key (for
+        cross-snapshot correlation), a readable ``plan`` label, the engine
+        and the count/total/min/mean/max statistics in seconds.
+        """
+        with self._lock:
+            items = list(self._records.items())
+        rows = []
+        for (key, engine), (count, total, lo, hi) in items:
+            digest = hashlib.blake2s(
+                repr((key, engine)).encode(), digest_size=8
+            ).hexdigest()
+            rows.append(
+                {
+                    "digest": digest,
+                    "plan": describe_plan_key(key),
+                    "engine": engine,
+                    "count": int(count),
+                    "total_s": total,
+                    "min_s": lo,
+                    "mean_s": total / count if count else 0.0,
+                    "max_s": hi,
+                }
+            )
+        rows.sort(key=lambda row: row["total_s"], reverse=True)
+        return rows
+
+
+_DEFAULT_PLAN_TIMINGS = PlanTimings()
+
+
+def default_plan_timings() -> PlanTimings:
+    """The process-wide per-plan timing registry the executor records into."""
+    return _DEFAULT_PLAN_TIMINGS
+
+
+def record_plan_timing(key: PlanKey, engine: str, seconds: float) -> None:
+    """Record one measured execution into the process-wide registry."""
+    _DEFAULT_PLAN_TIMINGS.record(key, engine, seconds)
+
+
+def plan_timings_snapshot() -> List[Dict[str, object]]:
+    """Rows of the process-wide per-plan timing registry (total-desc)."""
+    return _DEFAULT_PLAN_TIMINGS.snapshot()
+
+
+def clear_plan_timings() -> None:
+    """Drop the process-wide per-plan timing records (test isolation)."""
+    _DEFAULT_PLAN_TIMINGS.clear()
+
+
+# The metrics registry embeds these documents in its snapshots; registering
+# here (the producer) keeps repro.obs free of engine-layer imports.
+register_source("caches", caches_snapshot)
+register_source("plan_timings", plan_timings_snapshot)
+
+
+# --------------------------------------------------------------------------- #
 # Schedule caching
 # --------------------------------------------------------------------------- #
 def cached_schedule(
@@ -484,7 +608,8 @@ def cached_schedule(
             max_paths=max_paths,
             enforce_csf_order=enforce_csf_order,
         )
-        return scheduler.schedule()
+        with _span("schedule_search", "scheduler"):
+            return scheduler.schedule()
 
     schedule = cache.get_or_create(key, build)
     assert isinstance(schedule, Schedule)

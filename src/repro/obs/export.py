@@ -1,0 +1,84 @@
+"""Chrome-trace-event JSON export of recorded spans (Perfetto-loadable).
+
+Spans drained from the tracer become *complete* (``"ph": "X"``) trace
+events on the Chrome trace event timeline: microsecond timestamps aligned
+to the epoch (so spans recorded in pool worker processes line up with the
+parent's), one track per ``(pid, tid)``, the span category as the event
+category and the span attributes as ``args``.  Process metadata events
+label the exporting process ``repro`` and every other pid ``repro
+worker``, which is how the worker fan-out reads in the Perfetto UI.
+
+The written file is a single JSON object ``{"traceEvents": [...]}`` — the
+format both ``chrome://tracing`` and https://ui.perfetto.dev load
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.trace import Span, drain_spans
+
+
+def trace_events(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Convert spans to Chrome trace events (plus process metadata)."""
+    events: List[Dict[str, object]] = []
+    own_pid = os.getpid()
+    for pid in sorted({s.pid for s in spans}):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro" if pid == own_pid else "repro worker"},
+            }
+        )
+    for s in spans:
+        event: Dict[str, object] = {
+            "name": s.name,
+            "cat": s.category,
+            "ph": "X",
+            "ts": s.start_s * 1e6,
+            "dur": max(s.duration_s * 1e6, 0.001),
+            "pid": s.pid,
+            "tid": s.tid,
+        }
+        if s.attrs:
+            event["args"] = {k: _jsonable(v) for k, v in s.attrs.items()}
+        events.append(event)
+    return events
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def write_trace(
+    path: Union[str, Path], spans: Optional[Sequence[Span]] = None
+) -> Path:
+    """Write spans (default: drain the tracer) as one Chrome-trace file.
+
+    Returns the written path; parent directories are created as needed.
+
+    Examples
+    --------
+    >>> enable_tracing()
+    >>> service.run(requests)
+    >>> write_trace("out.json")     # load in ui.perfetto.dev
+    """
+    if spans is None:
+        spans = drain_spans()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {"traceEvents": trace_events(spans), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(document) + "\n")
+    return path
+
+
+__all__ = ["trace_events", "write_trace"]

@@ -34,8 +34,36 @@ import warnings
 from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, TypeVar
 
+from repro.obs.metrics import register_source
+from repro.obs.trace import add_spans, capture_spans, span, tracing_enabled
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+
+class _TracedTask:
+    """Picklable wrapper shipping worker-side spans back with each result.
+
+    When tracing is enabled, :meth:`WorkerPool.map` wraps the task callable
+    with this: the worker records the task under a ``pool.task`` span,
+    captures every span finished during the call (``force=True`` keeps the
+    capture working even in workers forked before tracing was enabled in
+    the parent) and returns ``(result, spans)``; the parent unwraps the
+    results and merges the spans — with their worker pid/tid identity —
+    into its own buffer.  The serial fallback paths take the identical
+    shape, so tracing never changes map semantics.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, item):
+        with capture_spans(force=True) as spans:
+            with span("task", "pool"):
+                result = self.fn(item)
+        return result, spans
 
 #: Environment variable providing the process-wide default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -130,6 +158,20 @@ class WorkerPool:
         items = list(items)
         self.maps += 1
         self.tasks += len(items)
+        if tracing_enabled():
+            with span("map", "pool", tasks=len(items), workers=self.workers):
+                pairs = self._map(_TracedTask(fn), items, chunksize)
+            for _, worker_spans in pairs:
+                add_spans(worker_spans)
+            return [result for result, _ in pairs]
+        return self._map(fn, items, chunksize)
+
+    def _map(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        chunksize: Optional[int] = None,
+    ) -> List[R]:
         if (
             self.workers <= 1
             or len(items) < 2
@@ -273,6 +315,10 @@ def pool_stats() -> dict:
 
 
 atexit.register(shutdown_pool)
+
+# The metrics registry embeds the pool counters in its snapshots;
+# registering here (the producer) keeps repro.obs runtime-import free.
+register_source("pool", pool_stats)
 
 
 def parallel_map(

@@ -23,6 +23,8 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.trace import span as _span
+
 try:
     from multiprocessing import shared_memory as _shm
 except ImportError:  # pragma: no cover - always present on CPython >= 3.8
@@ -90,6 +92,12 @@ class DenseBroadcast:
 
 def publish(arrays: Mapping[str, np.ndarray]) -> DenseBroadcast:
     """Copy *arrays* into shared memory once and return their handles."""
+    with _span("publish", "shm", arrays=len(arrays)):
+        broadcast = _publish(arrays)
+    return broadcast
+
+
+def _publish(arrays: Mapping[str, np.ndarray]) -> DenseBroadcast:
     handles: Dict[str, SharedArrayHandle] = {}
     segments: List[object] = []
     for name, arr in arrays.items():

@@ -39,12 +39,17 @@ class PendingReply:
     id arrives (buffering any other replies that stream back first) and
     returns the decoded tensor, or raises
     :class:`~repro.serve.protocol.ServeError` for a structured error reply.
+
+    After a successful ``result()``, :attr:`timings` holds the reply's
+    per-stage latency breakdown (seconds keyed by stage name — see
+    ``repro.serve.service.STAGES``) when the daemon supplied one.
     """
 
-    __slots__ = ("msg_id", "_client")
+    __slots__ = ("msg_id", "timings", "_client")
 
     def __init__(self, msg_id: str, client: "ServeClient") -> None:
         self.msg_id = msg_id
+        self.timings: Optional[Dict[str, float]] = None
         self._client = client
 
     @property
@@ -54,7 +59,9 @@ class PendingReply:
 
     def result(self) -> Output:
         """Block until this request's reply arrives; decode or raise."""
-        return protocol.decode_result(self._client._reply_for(self.msg_id))
+        message = self._client._reply_for(self.msg_id)
+        self.timings = message.get("timings")
+        return protocol.decode_result(message)
 
 
 class ServeClient:
@@ -160,6 +167,20 @@ class ServeClient:
         self._send({"op": "stats", "id": msg_id})
         reply = protocol.raise_if_error(self._reply_for(msg_id))
         return reply.get("stats", {})
+
+    def metrics(self, format: Optional[str] = None) -> Union[Dict[str, Any], str]:
+        """Fetch the daemon's metrics registry snapshot.
+
+        With ``format="prometheus"`` the reply is the text exposition
+        format (one string); otherwise the structured JSON snapshot.
+        """
+        msg_id = self._fresh_id()
+        message: Dict[str, Any] = {"op": "metrics", "id": msg_id}
+        if format is not None:
+            message["format"] = format
+        self._send(message)
+        reply = protocol.raise_if_error(self._reply_for(msg_id))
+        return reply.get("metrics", {})
 
     def ping(self) -> bool:
         """Round-trip liveness probe."""

@@ -46,13 +46,24 @@ Tests and benchmarks embed the daemon in a background thread::
 from __future__ import annotations
 
 import asyncio
+import os
 import signal
 import threading
+import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
-from repro.engine.plan_cache import caches_snapshot
+from repro.engine.plan_cache import caches_snapshot, plan_timings_snapshot
+from repro.obs.export import write_trace
+from repro.obs.metrics import metrics_snapshot, observe, prometheus_text
+from repro.obs.trace import (
+    TRACE_DIR_ENV,
+    enable_tracing,
+    span as _span,
+    tracing_enabled,
+)
 from repro.runtime import drain_pools, pool_stats
 from repro.serve import protocol
 from repro.serve.request import ContractionRequest
@@ -153,6 +164,11 @@ class ServeDaemon:
         Maximum in-flight requests per connection per dispatch cycle — the
         fairness knob: a client beyond its quota waits for the next cycle
         while other connections drain.
+    trace_dir:
+        When set (or via the ``REPRO_TRACE_DIR`` environment variable),
+        tracing is enabled for the daemon's lifetime and a Chrome-trace
+        JSON file (``trace-daemon-<port>.json``, Perfetto-loadable) is
+        written into this directory during shutdown.
     """
 
     def __init__(
@@ -164,11 +180,17 @@ class ServeDaemon:
         engine: Optional[str] = None,
         max_pending: int = 4096,
         client_quota: int = 64,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if client_quota < 1:
             raise ValueError("client_quota must be >= 1")
         self.host = host
         self.port = port
+        if trace_dir is None:
+            trace_dir = os.environ.get(TRACE_DIR_ENV) or None
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            enable_tracing()
         self.service = (
             service
             if service is not None
@@ -312,6 +334,12 @@ class ServeDaemon:
                 self._handle_submit(client, msg_id, message)
             elif op == "stats":
                 client.send(protocol.stats_reply(msg_id, self.snapshot()))
+            elif op == "metrics":
+                if message.get("format") == "prometheus":
+                    payload: Union[Dict[str, Any], str] = prometheus_text()
+                else:
+                    payload = metrics_snapshot()
+                client.send(protocol.metrics_reply(msg_id, payload))
             elif op == "ping":
                 client.send(protocol.pong_reply(msg_id))
             elif op == "shutdown":
@@ -470,6 +498,12 @@ class ServeDaemon:
 
     async def _run_batch(self, batch: List[_QueuedItem]) -> None:
         """Submit one cycle's requests and flush the service off-loop."""
+        with _span(
+            "dispatch", "daemon", requests=len(batch), cycle=self.stats.cycles
+        ):
+            await self._submit_and_flush(batch)
+
+    async def _submit_and_flush(self, batch: List[_QueuedItem]) -> None:
         assert self._loop is not None
         submitted = False
         for item in batch:
@@ -501,12 +535,19 @@ class ServeDaemon:
         loop = self._loop
 
         def _on_done(future: ServeFuture) -> None:
+            encode_t0 = time.perf_counter()
             try:
                 reply = protocol.result_reply(item.msg_id, future.result())
             except RuntimeError as exc:
                 reply = protocol.error_reply(
                     item.msg_id, protocol.ERROR_EXECUTION, str(exc)
                 )
+            wire_encode = time.perf_counter() - encode_t0
+            observe("serve.stage.wire_encode", wire_encode)
+            if future.timings:
+                timings = dict(future.timings)
+                timings["wire_encode"] = wire_encode
+                reply["timings"] = timings
             loop.call_soon_threadsafe(self._finish_item, item, reply)
 
         return _on_done
@@ -526,7 +567,13 @@ class ServeDaemon:
     # Introspection and teardown
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, Any]:
-        """One coherent stats document: daemon, service, caches, pool."""
+        """One coherent stats document: daemon, service, caches, pool.
+
+        ``metrics`` is the registry-only slice (counters, gauges and the
+        per-stage latency histograms; the caches/pool sources are already
+        present as top-level keys) and ``plan_timings`` the per-plan-
+        signature timing records — the calibration feed of ROADMAP item 4.
+        """
         return {
             "version": protocol.PROTOCOL_VERSION,
             "draining": self._draining,
@@ -535,6 +582,8 @@ class ServeDaemon:
             "service": self.service.stats.as_dict(),
             "caches": caches_snapshot(),
             "pool": pool_stats(),
+            "metrics": metrics_snapshot(include_sources=False),
+            "plan_timings": plan_timings_snapshot(),
         }
 
     async def _close_everything(self) -> None:
@@ -552,6 +601,13 @@ class ServeDaemon:
         # the drain hook waits for outstanding pool tasks instead of
         # terminating mid-map; a later in-process use refills the pools
         await asyncio.get_running_loop().run_in_executor(None, drain_pools)
+        # written last so the file is complete once the daemon thread joins
+        if self.trace_dir is not None and tracing_enabled():
+            port = self.address[1] if self.address is not None else self.port
+            try:
+                write_trace(self.trace_dir / f"trace-daemon-{port}.json")
+            except OSError:  # pragma: no cover - unwritable trace dir
+                pass
 
 
 # --------------------------------------------------------------------------- #

@@ -2,7 +2,7 @@
 
 Every message — in either direction — is one JSON object encoded as UTF-8
 on one ``\\n``-terminated line (NDJSON).  Clients send *operations*
-(``submit``, ``stats``, ``ping``, ``shutdown``) carrying a caller-chosen
+(``submit``, ``stats``, ``metrics``, ``ping``, ``shutdown``) carrying a caller-chosen
 ``id``; the daemon answers each operation with exactly one reply echoing
 that ``id``, but replies are **streamed** in completion order, not request
 order, so a client must demultiplex by ``id``.
@@ -43,7 +43,7 @@ from repro.sptensor.dense import DenseTensor
 PROTOCOL_VERSION = 1
 
 #: Client operations the daemon understands.
-OPS = ("submit", "stats", "ping", "shutdown")
+OPS = ("submit", "stats", "metrics", "ping", "shutdown")
 
 #: Structured error codes used in error replies.
 ERROR_PROTOCOL = "protocol"      # malformed JSON / unknown op / bad schema
@@ -222,6 +222,16 @@ def stats_reply(msg_id: Any, stats: Dict[str, Any]) -> Dict[str, Any]:
     return {"id": msg_id, "ok": True, "stats": stats}
 
 
+def metrics_reply(msg_id: Any, payload: Union[Dict[str, Any], str]) -> Dict[str, Any]:
+    """Reply to a ``metrics`` operation.
+
+    *payload* is either the structured registry snapshot (JSON object) or,
+    when the client asked for ``format: "prometheus"``, the exposition text
+    as one string.
+    """
+    return {"id": msg_id, "ok": True, "metrics": payload}
+
+
 def pong_reply(msg_id: Any) -> Dict[str, Any]:
     """Reply to a ``ping`` operation."""
     return {"id": msg_id, "ok": True, "pong": True, "version": PROTOCOL_VERSION}
@@ -270,6 +280,7 @@ __all__ = [
     "result_reply",
     "error_reply",
     "stats_reply",
+    "metrics_reply",
     "pong_reply",
     "shutdown_reply",
     "raise_if_error",

@@ -43,6 +43,7 @@ eviction/bytes counters per cache.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
@@ -65,6 +66,8 @@ from repro.engine.plan_cache import (
     schedule_key,
 )
 from repro.core.scheduler import SpTTNScheduler
+from repro.obs.metrics import inc_counter, observe
+from repro.obs.trace import span as _span
 from repro.runtime import attach, parallel_map, publish, resolve_workers
 from repro.serve.request import ContractionRequest
 from repro.sptensor.coo import COOTensor
@@ -80,6 +83,11 @@ Output = Union[np.ndarray, COOTensor]
 _SCHEDULE_KNOBS = dict(
     buffer_dim_bound=2, flop_tolerance=1.5, max_paths=5000, enforce_csf_order=True
 )
+
+#: Per-request latency stages reported in :attr:`ServeFuture.timings` and
+#: aggregated into the ``serve.stage.*`` histograms; the daemon adds
+#: ``wire_encode`` when it serializes the reply.
+STAGES = ("queue_wait", "schedule", "build", "execute", "reduce", "wire_encode")
 
 
 class AdmissionError(RuntimeError):
@@ -144,12 +152,17 @@ class ServeFuture:
     as the future resolves — *inside* the flush, in whatever thread runs
     it — which is how the serving daemon streams results per signature
     group instead of waiting for the whole flush to return.
+
+    :attr:`timings` carries the request's per-stage latency breakdown
+    (seconds per :data:`STAGES` entry) once resolved; the daemon embeds it
+    in the result reply.
     """
 
-    __slots__ = ("request", "_service", "_done", "_value", "_callbacks")
+    __slots__ = ("request", "timings", "_service", "_done", "_value", "_callbacks")
 
     def __init__(self, request: ContractionRequest, service: "ContractionService"):
         self.request = request
+        self.timings: Dict[str, float] = {}
         self._service = service
         self._done = False
         self._value: object = None
@@ -233,7 +246,15 @@ class ServiceStats:
 class _Pending:
     """One admitted request waiting for the next flush."""
 
-    __slots__ = ("request", "kernel", "mapping", "signature", "engine", "future")
+    __slots__ = (
+        "request",
+        "kernel",
+        "mapping",
+        "signature",
+        "engine",
+        "future",
+        "submitted_at",
+    )
 
     def __init__(
         self,
@@ -250,6 +271,17 @@ class _Pending:
         self.signature = signature
         self.engine = engine
         self.future = future
+        self.submitted_at = time.perf_counter()
+
+
+@dataclass
+class _GroupTiming:
+    """Stage timings of one signature group, attached per request on resolve."""
+
+    flush_start: float
+    schedule_s: float
+    build_s: float
+    execute_s: List[float]
 
 
 class _BatchTask:
@@ -359,6 +391,7 @@ class ContractionService:
         """Admit one request; returns its future or raises AdmissionError."""
         if len(self._pending) >= self.max_pending:
             self.stats.rejected += 1
+            inc_counter("serve.rejected")
             raise AdmissionError(
                 f"queue full ({self.max_pending} pending); flush() or raise "
                 f"max_pending"
@@ -367,6 +400,7 @@ class ContractionService:
             kernel, mapping = request.build()
         except Exception as exc:
             self.stats.rejected += 1
+            inc_counter("serve.rejected")
             raise AdmissionError(f"invalid request: {exc}") from exc
         engine = request.engine if request.engine is not None else self.engine
         future = ServeFuture(request, self)
@@ -381,6 +415,7 @@ class ContractionService:
             )
         )
         self.stats.submitted += 1
+        inc_counter("serve.submitted")
         self.stats.by_kind[request.kind] = (
             self.stats.by_kind.get(request.kind, 0) + 1
         )
@@ -406,14 +441,19 @@ class ContractionService:
         pending, self._pending = self._pending, []
         if not pending:
             return
+        flush_start = time.perf_counter()
         self.stats.flushes += 1
+        inc_counter("serve.flushes")
         groups: "OrderedDict[Tuple, List[_Pending]]" = OrderedDict()
         for p in pending:
             groups.setdefault(p.signature, []).append(p)
         workers = resolve_workers(self.workers)
         try:
-            for group in groups.values():
-                self._run_group(group, workers)
+            with _span(
+                "flush", "serve", requests=len(pending), groups=len(groups)
+            ):
+                for group in groups.values():
+                    self._run_group(group, workers, flush_start)
         except BaseException as exc:
             # _run_group isolates per-request and per-group failures; only
             # truly unexpected errors (MemoryError, KeyboardInterrupt, a
@@ -428,6 +468,9 @@ class ContractionService:
             raise
         self.stats.batches += len(groups)
         self.stats.amortized += len(pending) - len(groups)
+        inc_counter("serve.batches", len(groups))
+        inc_counter("serve.amortized", len(pending) - len(groups))
+        observe("serve.flush", time.perf_counter() - flush_start)
 
     def run(self, requests: Sequence[ContractionRequest]) -> List[Output]:
         """Submit, flush and collect results in request order."""
@@ -435,16 +478,38 @@ class ContractionService:
         self.flush()
         return [f.result() for f in futures]
 
-    def _resolve(self, group: List[_Pending], results: Sequence[object]) -> None:
-        for p, value in zip(group, results):
+    def _resolve(
+        self,
+        group: List[_Pending],
+        results: Sequence[object],
+        timing: Optional[_GroupTiming] = None,
+    ) -> None:
+        ready = time.perf_counter()
+        for i, (p, value) in enumerate(zip(group, results)):
             if isinstance(value, _RequestError):
                 self.stats.failed += 1
+                inc_counter("serve.failed")
             else:
                 self.stats.served += 1
+                inc_counter("serve.served")
+            if timing is not None:
+                stages = {
+                    "queue_wait": max(0.0, timing.flush_start - p.submitted_at),
+                    "schedule": timing.schedule_s,
+                    "build": timing.build_s,
+                    "execute": timing.execute_s[i],
+                    "reduce": max(0.0, time.perf_counter() - ready),
+                }
+                p.future.timings.update(stages)
+                for stage, seconds in stages.items():
+                    observe(f"serve.stage.{stage}", seconds)
             p.future._resolve(value)
 
-    def _run_group(self, group: List[_Pending], workers: int) -> None:
+    def _run_group(
+        self, group: List[_Pending], workers: int, flush_start: float
+    ) -> None:
         leader = group[0]
+        schedule_t0 = time.perf_counter()
         try:
             schedule = cached_schedule(leader.kernel, **_SCHEDULE_KNOBS)
         except Exception as exc:
@@ -452,31 +517,46 @@ class ContractionService:
             error = _RequestError(f"{type(exc).__name__}: {exc}")
             self._resolve(group, [error] * len(group))
             return
+        schedule_s = time.perf_counter() - schedule_t0
         nest = schedule.loop_nest
-        if workers > 1 and len(group) > 1:
-            results = self._run_group_parallel(group, nest, workers)
-        else:
-            results = self._run_group_serial(group, nest)
-        self._resolve(group, results)
+        with _span(
+            "group", "serve", requests=len(group), kind=leader.request.kind
+        ):
+            if workers > 1 and len(group) > 1:
+                results, build_s, execute_s = self._run_group_parallel(
+                    group, nest, workers
+                )
+            else:
+                results, build_s, execute_s = self._run_group_serial(group, nest)
+        self._resolve(
+            group,
+            results,
+            _GroupTiming(flush_start, schedule_s, build_s, execute_s),
+        )
 
     def _run_group_serial(
         self, group: List[_Pending], nest: LoopNest
-    ) -> List[object]:
+    ) -> Tuple[List[object], float, List[float]]:
         leader = group[0]
+        build_t0 = time.perf_counter()
         try:
             executor = cached_executor(leader.kernel, nest, engine=leader.engine)
         except Exception as exc:
             # executor construction is structural (e.g. an unknown engine
             # name): it fails the whole signature group, nobody else
             error = _RequestError(f"{type(exc).__name__}: {exc}")
-            return [error] * len(group)
+            return [error] * len(group), 0.0, [0.0] * len(group)
+        build_s = time.perf_counter() - build_t0
         results: List[object] = []
+        execute_s: List[float] = []
         for p in group:
+            exec_t0 = time.perf_counter()
             try:
                 results.append(executor.execute(p.mapping))
             except Exception as exc:
                 results.append(_RequestError(f"{type(exc).__name__}: {exc}"))
-        return results
+            execute_s.append(time.perf_counter() - exec_t0)
+        return results, build_s, execute_s
 
     def _shared_dense(
         self, group: List[_Pending]
@@ -521,7 +601,7 @@ class ContractionService:
 
     def _run_group_parallel(
         self, group: List[_Pending], nest: LoopNest, workers: int
-    ) -> List[object]:
+    ) -> Tuple[List[object], float, List[float]]:
         leader = group[0]
         shared = self._shared_dense(group)
         sparse_shared = self._shared_sparse(group)
@@ -562,9 +642,14 @@ class ContractionService:
                 payload["__shared__"] = task_shared
                 payloads.append(payload)
             task = _BatchTask(leader.kernel, nest, leader.engine)
-            return parallel_map(
+            exec_t0 = time.perf_counter()
+            results = parallel_map(
                 task, payloads, workers=min(workers, len(group))
             )
+            # plan build happens inside the workers; the batch wall time is
+            # the best per-request attribution available for this path
+            batch_wall = time.perf_counter() - exec_t0
+            return results, 0.0, [batch_wall] * len(group)
         finally:
             published.close()
 
