@@ -76,16 +76,21 @@ def _condense(raw: dict) -> dict:
     benchmarks = []
     for bench in raw.get("benchmarks", []):
         stats = bench.get("stats", {})
-        benchmarks.append(
-            {
-                "name": bench.get("name"),
-                "mean_s": stats.get("mean"),
-                "min_s": stats.get("min"),
-                "stddev_s": stats.get("stddev"),
-                "rounds": stats.get("rounds"),
-                "rows": bench.get("extra_info", {}).get("rows", []),
-            }
-        )
+        extra = dict(bench.get("extra_info", {}))
+        entry = {
+            "name": bench.get("name"),
+            "mean_s": stats.get("mean"),
+            "min_s": stats.get("min"),
+            "stddev_s": stats.get("stddev"),
+            "rounds": stats.get("rounds"),
+            "rows": extra.pop("rows", []),
+        }
+        # Everything else a benchmark attached (per-tier timings, engine
+        # labels, speedup maps) used to be dropped here; keep it so the
+        # committed snapshot records per-tier numbers, not just totals.
+        if extra:
+            entry["extra"] = extra
+        benchmarks.append(entry)
     machine = raw.get("machine_info", {})
     return {
         "recorded": datetime.datetime.now(datetime.timezone.utc).isoformat(

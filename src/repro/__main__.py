@@ -511,7 +511,12 @@ def cmd_cache(args) -> int:
     executed plan) accumulated by the executor are printed below the cache
     table whenever any exist; ``--clear`` drops them too.
     """
-    from repro.engine.plan_cache import clear_plan_timings, plan_timings_snapshot
+    from repro.engine.lowering.codegen import reset_jit_stats
+    from repro.engine.plan_cache import (
+        caches_snapshot,
+        clear_plan_timings,
+        plan_timings_snapshot,
+    )
 
     caches = {
         "plan": default_plan_cache(),
@@ -525,9 +530,10 @@ def cmd_cache(args) -> int:
     if args.reset_stats:
         for cache in caches.values():
             cache.reset_stats()
+        reset_jit_stats()
         print("reset cache statistics")
     print()
-    _print_cache_stats({name: cache.stats() for name, cache in caches.items()})
+    _print_cache_stats(caches_snapshot())
     rows = plan_timings_snapshot()
     if rows:
         print(f"\nper-plan timings ({len(rows)} signature(s), by total time):")

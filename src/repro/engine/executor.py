@@ -22,10 +22,15 @@ substitution pass — so repeated executions of the same structure (ALS/HOOI
 sweeps, autotuning repeats) perform zero per-call symbolic analysis, and the
 execution hot loop performs no per-iteration analysis.
 
-*Execution* happens in one of two engines, selected by the ``engine``
+*Execution* happens in one of three engines, selected by the ``engine``
 parameter (default from the ``REPRO_ENGINE`` environment variable, falling
 back to ``"lowered"``):
 
+* ``"jit"`` — the lowered program is additionally compiled (once, cached
+  on the plan) by :mod:`repro.engine.lowering.codegen` into a single fused
+  NumPy callable with pooled intermediate buffers and bind-time prepared
+  index maps; programs the generator declines run on the lowered VM
+  (jit → lowered → interpret fallback chain).
 * ``"lowered"`` — the plan is compiled once (cached on the plan) by
   :mod:`repro.engine.lowering` into a flat program of vectorized array ops
   (gathers into CSF lane layout, batched einsums, segment reductions along
@@ -37,7 +42,7 @@ back to ``"lowered"``):
   full index ranges, and offloaded regions execute one pre-specialized
   kernel call.
 
-Both engines report identical operation counts; results agree to the usual
+All engines report identical operation counts; results agree to the usual
 floating-point reassociation of vectorized summation (last-ulp).  Dense
 outputs and sparse-pattern outputs (TTTP/SDDMM-style) are both supported.
 """
@@ -56,7 +61,7 @@ from repro.core.loop_nest import LoopNest, validate_loop_order
 from repro.core.scheduler import Schedule
 from repro.engine.blas import specialize_contraction
 from repro.engine.buffers import BufferSet
-from repro.engine.lowering import lower_plan, run_program
+from repro.engine.lowering import compile_program, lower_plan, run_program
 from repro.engine.plan_cache import (
     ARRAY as _ARRAY,
     SLOT_BUFFER as _SLOT_BUFFER,
@@ -85,13 +90,27 @@ from repro.util.validation import require
 
 TensorLike = Union[COOTensor, CSFTensor, DenseTensor, np.ndarray]
 
-#: Execution engines accepted by :class:`LoopNestExecutor`.
-ENGINES = ("lowered", "interpret")
+#: Execution engines accepted by :class:`LoopNestExecutor`, fastest first;
+#: each falls back transparently to the next when a plan does not support
+#: it (jit → lowered → interpret).
+ENGINES = ("jit", "lowered", "interpret")
 
 
 def default_engine() -> str:
     """The process default engine: ``REPRO_ENGINE`` or ``"lowered"``."""
     return os.environ.get("REPRO_ENGINE", "lowered").strip().lower()
+
+
+def _plan_state(plan: CompiledPlan) -> tuple:
+    """Growth fingerprint of a plan: when it changes after an execution the
+    cache entry is re-measured against its byte budget (sites discovered,
+    lowering compiled, jit compiled, jit bound to a new tensor)."""
+    return (
+        plan.n_sites,
+        plan.lowered is not None,
+        plan.jit is not None,
+        getattr(plan.jit, "version", 0),
+    )
 
 
 class LoopNestExecutor:
@@ -122,9 +141,12 @@ class LoopNestExecutor:
         caching entirely, rebuilding the plan on every ``execute`` call (the
         pre-cache per-call-planning behaviour, kept for measurement).
     engine:
-        ``"lowered"`` executes via the vectorized lowering subsystem when
-        the scheduled nest is lowerable (falling back to interpretation
-        otherwise); ``"interpret"`` always interprets.  ``None`` (default)
+        ``"jit"`` executes the lowered program as one fused codegen
+        callable when it compiles (falling back to the lowered VM, then
+        interpretation); ``"lowered"`` executes via the vectorized
+        lowering subsystem when the scheduled nest is lowerable (falling
+        back to interpretation otherwise); ``"interpret"`` always
+        interprets.  ``None`` (default)
         resolves through :func:`default_engine` (the ``REPRO_ENGINE``
         environment variable, else ``"lowered"``).  After each
         ``execute()`` call, :attr:`last_engine` records which engine
@@ -202,22 +224,41 @@ class LoopNestExecutor:
             self._prepare(tensors)
             plan = self._plan
             assert plan is not None and self._csf is not None
-            plan_state = (plan.n_sites, plan.lowered is not None)
+            plan_state = _plan_state(plan)
             self.last_engine = "interpret"
-            if self.engine == "lowered" and self._csf.nnz > 0:
+            if self.engine in ("jit", "lowered") and self._csf.nnz > 0:
                 if plan.lowered is None:
                     program = lower_plan(self)
                     plan.lowered = program if program is not None else False
                 if plan.lowered is not False:
-                    run_program(
-                        plan.lowered,
-                        self._csf,
-                        self._dense,
-                        self._out_dense,
-                        self._out_values,
-                        self.counter,
-                    )
-                    self.last_engine = "lowered"
+                    if self.engine == "jit":
+                        if plan.jit is None:
+                            with _span("compile", "jit", ops=plan.lowered.n_ops):
+                                compiled = compile_program(plan.lowered)
+                            plan.jit = compiled if compiled is not None else False
+                        if plan.jit is not False:
+                            with _span("run", "jit", nnz=self._csf.nnz):
+                                plan.jit.run(
+                                    self._csf,
+                                    self._dense,
+                                    self._out_dense,
+                                    self._out_values,
+                                    self.counter,
+                                )
+                            self.last_engine = "jit"
+                    if self.last_engine == "interpret":
+                        if plan.vm_pool is None:
+                            plan.vm_pool = {}
+                        run_program(
+                            plan.lowered,
+                            self._csf,
+                            self._dense,
+                            self._out_dense,
+                            self._out_values,
+                            self.counter,
+                            pool=plan.vm_pool,
+                        )
+                        self.last_engine = "lowered"
             if self.last_engine == "interpret":
                 positions = tuple(range(len(self.path)))
                 self._run(positions, 0, {}, -1, 0)
@@ -229,10 +270,7 @@ class LoopNestExecutor:
         else:
             assert self._out_dense is not None
             result = self._out_dense
-        if self._cache is not None and plan_state != (
-            plan.n_sites,
-            plan.lowered is not None,
-        ):
+        if self._cache is not None and plan_state != _plan_state(plan):
             # the plan grew (sites discovered / lowering compiled): let the
             # cache's memory budget see the real size
             self._cache.reaccount(plan.key)

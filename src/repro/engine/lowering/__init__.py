@@ -13,17 +13,24 @@ clean fallback to interpretation for anything not lowerable yet.
 
 * :mod:`repro.engine.lowering.ir` — the typed op set and symbolic counts;
 * :mod:`repro.engine.lowering.lower` — the lowering pass over plan sites;
-* :mod:`repro.engine.lowering.vm` — the IR executor.
+* :mod:`repro.engine.lowering.vm` — the IR executor;
+* :mod:`repro.engine.lowering.codegen` — the jit tier: programs compiled
+  to fused callables with pooled buffers (:mod:`.pool`) and an optional
+  Numba lane sweep (:mod:`.numba_kernels`).
 """
 
+from repro.engine.lowering.codegen import CompiledJit, compile_program, jit_stats
 from repro.engine.lowering.ir import Charge, Program
 from repro.engine.lowering.lower import NotLowerable, lower_plan
 from repro.engine.lowering.vm import run_program
 
 __all__ = [
     "Charge",
+    "CompiledJit",
     "NotLowerable",
     "Program",
+    "compile_program",
+    "jit_stats",
     "lower_plan",
     "run_program",
 ]

@@ -1,0 +1,87 @@
+"""Optional Numba kernels for the jit tier's innermost CSF lane sweeps.
+
+Numba is a *soft* dependency: when importable (and not disabled via
+``REPRO_JIT_NUMBA=0``) the jit tier routes contiguous float64 segment
+reductions — the innermost lane sweep over CSF level pointers — through a
+compiled left-fold loop instead of ``np.add.reduceat``.  When Numba is
+absent, fails to import, or fails to compile, :func:`available` latches
+``False`` and every caller transparently keeps the NumPy path; nothing
+else in the tier changes.
+
+The availability probe compiles and runs the kernel on a tiny input once
+per process, so a broken Numba installation costs one failed attempt, not
+one failure per execution.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+#: Environment switch: ``0`` disables the Numba path even when importable.
+NUMBA_ENV = "REPRO_JIT_NUMBA"
+
+_STATE = {"resolved": False, "ok": False}
+_seg_reduce = None
+
+
+def _resolve() -> None:
+    _STATE["resolved"] = True
+    _STATE["ok"] = False
+    if os.environ.get(NUMBA_ENV, "").strip() == "0":
+        return
+    global _seg_reduce
+    try:
+        from numba import njit
+    except Exception:
+        return
+    try:
+        @njit(cache=False)
+        def seg_reduce(values, bounds, out):  # pragma: no cover - compiled
+            n_seg = bounds.shape[0] - 1
+            width = values.shape[1]
+            for seg in range(n_seg):
+                lo = bounds[seg]
+                hi = bounds[seg + 1]
+                for col in range(width):
+                    acc = values[lo, col]
+                    for row in range(lo + 1, hi):
+                        acc += values[row, col]
+                    out[seg, col] = acc
+
+        probe = np.arange(6.0).reshape(3, 2)
+        probe_bounds = np.array([0, 1, 3], dtype=np.int64)
+        probe_out = np.empty((2, 2))
+        seg_reduce(probe, probe_bounds, probe_out)
+        if not np.array_equal(probe_out, [[0.0, 1.0], [6.0, 8.0]]):
+            return
+    except Exception:
+        return
+    _seg_reduce = seg_reduce
+    _STATE["ok"] = True
+
+
+def available() -> bool:
+    """Whether the compiled segment-reduce lane sweep is usable."""
+    if not _STATE["resolved"]:
+        _resolve()
+    return _STATE["ok"]
+
+
+def segment_reduce(value: np.ndarray, bounds: np.ndarray) -> Optional[np.ndarray]:
+    """Left-fold segment reduction over axis 0, or ``None`` to decline.
+
+    ``bounds`` holds ``n_seg + 1`` monotone lane offsets (CSF level
+    pointers).  Only contiguous float64 inputs are taken — anything else
+    returns ``None`` and the caller falls back to ``np.add.reduceat``.
+    """
+    if not available():
+        return None
+    if value.dtype != np.float64 or not value.flags.c_contiguous:
+        return None
+    flat = value.reshape(value.shape[0], -1)
+    out = np.empty((bounds.shape[0] - 1, flat.shape[1]))
+    _seg_reduce(flat, bounds, out)
+    return out.reshape((bounds.shape[0] - 1,) + value.shape[1:])

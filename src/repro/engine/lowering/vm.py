@@ -18,6 +18,7 @@ from typing import Dict, Mapping, Optional
 import numpy as np
 
 from repro.engine.lowering import ir
+from repro.engine.lowering import pool as _bufpool
 from repro.obs.trace import span as _span
 from repro.sptensor.csf import CSFTensor
 from repro.util.counters import OpCounter
@@ -26,7 +27,9 @@ from repro.util.counters import OpCounter
 class _Frame:
     """Per-execution state: the bound arrays plus memoized lane id maps."""
 
-    __slots__ = ("csf", "dense", "out_dense", "out_values", "counter", "_ids")
+    __slots__ = (
+        "csf", "dense", "out_dense", "out_values", "counter", "_ids", "pool"
+    )
 
     def __init__(
         self,
@@ -35,6 +38,7 @@ class _Frame:
         out_dense: Optional[np.ndarray],
         out_values: Optional[np.ndarray],
         counter: OpCounter,
+        pool: Optional[dict] = None,
     ) -> None:
         self.csf = csf
         self.dense = dense
@@ -42,6 +46,8 @@ class _Frame:
         self.out_values = out_values
         self.counter = counter
         self._ids: Dict[tuple, np.ndarray] = {}
+        # per-plan reusable buffer pool (fresh per call when not provided)
+        self.pool: dict = pool if pool is not None else {}
 
     def lanes(self, level: int) -> int:
         return 1 if level < 0 else self.csf.nnz_at_level(level)
@@ -90,7 +96,7 @@ def _broadcast_index(frame: _Frame, axes, level: int, shape) -> tuple:
     return tuple(idx)
 
 
-def _read_array(frame: _Frame, op: ir.ReadArray) -> np.ndarray:
+def _read_array(frame: _Frame, op: ir.ReadArray, key: int) -> np.ndarray:
     arr = frame.dense[op.slot[1]]
     gathers = [
         (axis, arg) for axis, (kind, arg) in enumerate(op.axes) if kind == ir.GATHER
@@ -99,16 +105,19 @@ def _read_array(frame: _Frame, op: ir.ReadArray) -> np.ndarray:
         return arr
     if len(gathers) == 1:
         axis, bind_level = gathers[0]
-        view = np.take(arr, frame.ids(bind_level, op.level), axis=axis)
-        return np.moveaxis(view, axis, 0) if axis else view
+        return _bufpool.take_into(
+            frame.pool, key, arr, frame.ids(bind_level, op.level), axis
+        )
     return arr[_broadcast_index(frame, op.axes, op.level, arr.shape)]
 
 
 def _segment_reduce(
-    frame: _Frame, value: np.ndarray, from_level: int, to_level: int
+    frame: _Frame, value: np.ndarray, from_level: int, to_level: int, key: int
 ) -> np.ndarray:
     for lvl in range(from_level - 1, to_level - 1, -1):
-        value = np.add.reduceat(value, frame.csf.fptr[lvl][:-1], axis=0)
+        value = _bufpool.reduceat_into(
+            frame.pool, (key, lvl), value, frame.csf.fptr[lvl][:-1]
+        )
     return value
 
 
@@ -120,17 +129,21 @@ def _lane_expand(
     return value
 
 
-def _scatter_lanes(frame: _Frame, op: ir.ScatterLanes, src: np.ndarray) -> np.ndarray:
+def _scatter_lanes(
+    frame: _Frame, op: ir.ScatterLanes, src: np.ndarray, key: int
+) -> np.ndarray:
     ids = frame.csf.fids[op.level]
     if op.level == 0:
-        out = np.zeros((op.dim,) + src.shape[1:], dtype=src.dtype)
+        out = _bufpool.scatter_lanes_into(
+            frame.pool, key, src, (op.dim,) + src.shape[1:]
+        )
         out[ids] = src
         return out
     parents = np.repeat(
         np.arange(frame.lanes(op.level - 1)), np.diff(frame.csf.fptr[op.level - 1])
     )
-    out = np.zeros(
-        (frame.lanes(op.level - 1), op.dim) + src.shape[1:], dtype=src.dtype
+    out = _bufpool.scatter_lanes_into(
+        frame.pool, key, src, (frame.lanes(op.level - 1), op.dim) + src.shape[1:]
     )
     out[parents, ids] = src
     return out
@@ -172,14 +185,20 @@ def run_program(
     out_dense: Optional[np.ndarray],
     out_values: Optional[np.ndarray],
     counter: OpCounter,
+    pool: Optional[dict] = None,
 ) -> None:
     """Execute one lowered program against concrete arrays.
 
     The caller guarantees ``csf.nnz > 0`` (an empty tensor runs zero
     interpreted iterations, which the executor handles without the VM).
+    ``pool`` is an optional per-plan buffer pool (see
+    :mod:`repro.engine.lowering.pool`): intermediate gather/contract/
+    reduce buffers are computed into it with ``out=``, so repeated
+    executions of one plan reuse allocations; results are bit-identical
+    with or without it.
     """
     with _span("run_program", "vm", ops=len(program.ops), nnz=csf.nnz):
-        _run_ops(program, csf, dense, out_dense, out_values, counter)
+        _run_ops(program, csf, dense, out_dense, out_values, counter, pool)
 
 
 def _run_ops(
@@ -189,25 +208,30 @@ def _run_ops(
     out_dense: Optional[np.ndarray],
     out_values: Optional[np.ndarray],
     counter: OpCounter,
+    pool: Optional[dict] = None,
 ) -> None:
-    frame = _Frame(csf, dense, out_dense, out_values, counter)
+    frame = _Frame(csf, dense, out_dense, out_values, counter, pool)
     regs: list = [None] * program.n_regs
-    for op in program.ops:
+    for key, op in enumerate(program.ops):
         if isinstance(op, ir.Contract):
-            regs[op.dst] = np.einsum(op.spec, *(regs[s] for s in op.srcs))
+            regs[op.dst] = _bufpool.einsum_into(
+                frame.pool, key, op.spec, *(regs[s] for s in op.srcs)
+            )
             frame.charge(op.charge)
         elif isinstance(op, ir.ReadArray):
-            regs[op.dst] = _read_array(frame, op)
+            regs[op.dst] = _read_array(frame, op, key)
         elif isinstance(op, ir.LoadValues):
             regs[op.dst] = csf.values
         elif isinstance(op, ir.SegmentReduce):
-            regs[op.dst] = _segment_reduce(frame, regs[op.src], op.from_level, op.to_level)
+            regs[op.dst] = _segment_reduce(
+                frame, regs[op.src], op.from_level, op.to_level, key
+            )
         elif isinstance(op, ir.LaneExpand):
             regs[op.dst] = _lane_expand(frame, regs[op.src], op.from_level, op.to_level)
         elif isinstance(op, ir.LaneSum):
-            regs[op.dst] = regs[op.src].sum(axis=0)
+            regs[op.dst] = _bufpool.sum0_into(frame.pool, key, regs[op.src])
         elif isinstance(op, ir.ScatterLanes):
-            regs[op.dst] = _scatter_lanes(frame, op, regs[op.src])
+            regs[op.dst] = _scatter_lanes(frame, op, regs[op.src], key)
         elif isinstance(op, ir.GatherAxis):
             regs[op.dst] = _gather_axis(frame, op, regs[op.src])
         elif isinstance(op, ir.ScatterAdd):

@@ -169,15 +169,22 @@ class CompiledPlan:
     lowering of :mod:`repro.engine.lowering`): ``None`` until the first
     execution attempts the lowering pass, then either ``False`` (not
     lowerable — the interpreter is used) or the compiled
-    :class:`~repro.engine.lowering.ir.Program`.
+    :class:`~repro.engine.lowering.ir.Program`.  ``jit`` records the same
+    tri-state for the codegen tier (``None`` / ``False`` / a
+    :class:`~repro.engine.lowering.codegen.CompiledJit`), and ``vm_pool``
+    holds the lowered VM's per-plan reusable buffer pool — both live on
+    the plan so the cache's byte budget accounts for compiled callables
+    and pooled buffers alongside the plan itself.
     """
 
-    __slots__ = ("key", "sites", "lowered")
+    __slots__ = ("key", "sites", "lowered", "jit", "vm_pool")
 
     def __init__(self, key: PlanKey) -> None:
         self.key = key
         self.sites: Dict[SiteKey, list] = {}
         self.lowered: object = None
+        self.jit: object = None
+        self.vm_pool: Optional[dict] = None
 
     @property
     def n_sites(self) -> int:
@@ -434,19 +441,25 @@ def caches_snapshot() -> Dict[str, Dict[str, int]]:
 
     The canonical introspection document shared by ``repro cache``, the
     serving layer's ``cache_stats`` and the daemon's ``stats`` endpoint:
-    a dict keyed ``plan``/``schedule``/``executor``, each value the
-    corresponding cache's entries/hits/misses/evictions/rejections/bytes
-    counters (:meth:`PlanCache.stats`).
+    a dict keyed ``plan``/``schedule``/``executor``/``jit``, each value
+    the corresponding cache's entries/hits/misses/evictions/rejections/
+    bytes counters (:meth:`PlanCache.stats`; the ``jit`` entry comes from
+    :func:`~repro.engine.lowering.codegen.jit_stats` and covers compiled
+    callables, their buffer pools and the per-tensor prep cache).
 
     Examples
     --------
     >>> caches_snapshot()["schedule"]["misses"]   # schedule searches paid
     3
     """
+    # imported lazily: the lowering package imports this module at load
+    from repro.engine.lowering.codegen import jit_stats
+
     return {
         "plan": _DEFAULT_PLAN_CACHE.stats(),
         "schedule": _DEFAULT_SCHEDULE_CACHE.stats(),
         "executor": _DEFAULT_EXECUTOR_CACHE.stats(),
+        "jit": jit_stats(),
     }
 
 

@@ -1,0 +1,219 @@
+"""Tests for the jit/codegen execution tier (repro.engine.lowering.codegen).
+
+The contract under test: ``compile_program`` turns a lowered
+:class:`~repro.engine.lowering.ir.Program` into one fused callable that
+
+* is cached on the plan (tri-state ``plan.jit``) and shared by every
+  executor resolving the same plan, like ``plan.lowered``;
+* re-binds per concrete CSF tensor through a bounded MRU prep cache
+  (``CompiledJit.MAX_BINDS``) whose hits/misses/evictions surface in
+  :func:`~repro.engine.lowering.codegen.jit_stats`;
+* reuses its pooled intermediate buffers across runs (warm executions
+  allocate nothing) while staying bit-identical when the bound tensor's
+  shapes change;
+* falls back to the lowered VM transparently when compilation declines or
+  fails, and to the interpreter on empty tensors — without changing
+  results or counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import SpTTNScheduler
+from repro.engine.executor import LoopNestExecutor
+from repro.engine.lowering import CompiledJit, compile_program, lower_plan
+from repro.engine.lowering import codegen as codegen_mod
+from repro.engine.lowering.codegen import jit_stats, reset_jit_stats
+from repro.engine.plan_cache import caches_snapshot
+from repro.sptensor import random_sparse_tensor
+from repro.util.counters import OpCounter
+
+
+def _run(kernel, tensors, nest, engine="jit", **kwargs):
+    counter = OpCounter()
+    executor = LoopNestExecutor(kernel, nest, counter=counter, engine=engine, **kwargs)
+    output = executor.execute(tensors)
+    return executor, np.asarray(output), counter
+
+
+class TestPlanCaching:
+    def test_compiled_callable_cached_on_plan(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor, _, _ = _run(kernel, tensors, nest)
+        assert executor.last_engine == "jit"
+        plan = executor._plan
+        assert isinstance(plan.jit, CompiledJit)
+        compiled = plan.jit
+        # a second executor sharing the process-wide plan cache reuses the
+        # compiled callable — no recompilation
+        before = jit_stats()["compiles"]
+        other, _, _ = _run(kernel, tensors, nest)
+        assert other._plan is plan
+        assert other._plan.jit is compiled
+        assert jit_stats()["compiles"] == before
+
+    def test_codegen_cache_key_is_the_plan(self, mttkrp_setup, ttmc_setup):
+        """Structurally different kernels get distinct compiled callables."""
+        k1, t1 = mttkrp_setup
+        k2, t2 = ttmc_setup
+        e1, _, _ = _run(k1, t1, SpTTNScheduler(k1).schedule().loop_nest)
+        e2, _, _ = _run(k2, t2, SpTTNScheduler(k2).schedule().loop_nest)
+        assert e1._plan is not e2._plan
+        assert e1._plan.jit is not e2._plan.jit
+
+    def test_generated_source_is_inspectable(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor, _, _ = _run(kernel, tensors, nest)
+        source = executor._plan.jit.source
+        assert "def _fused(V, D, O, OV, P, B, C):" in source
+
+
+class TestPrepBinding:
+    def test_rebind_on_new_tensor(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor, out1, _ = _run(kernel, tensors, nest)
+        compiled = executor._plan.jit
+        misses0 = jit_stats()["misses"]
+        # same tensors again: the prep cache hits, no new bind
+        _, out2, _ = _run(kernel, tensors, nest)
+        assert jit_stats()["misses"] == misses0
+        np.testing.assert_array_equal(out1, out2)
+        # a different sparse tensor (new shapes/nnz) forces a fresh bind
+        other = dict(tensors)
+        other["T"] = random_sparse_tensor((18, 15, 12), density=0.05, seed=21)
+        version = compiled.version
+        _, out3, ctr3 = _run(kernel, other, nest)
+        assert jit_stats()["misses"] == misses0 + 1
+        assert compiled.version > version
+        # and agrees with the interpreter on the new tensor
+        _, ref, ctr_ref = _run(kernel, other, nest, engine="interpret")
+        np.testing.assert_allclose(out3, ref, rtol=1e-12, atol=1e-14)
+        assert ctr3.as_dict() == ctr_ref.as_dict()
+
+    def test_bind_cache_eviction(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor, _, _ = _run(kernel, tensors, nest)
+        compiled = executor._plan.jit
+        evictions0 = jit_stats()["evictions"]
+        # bind MAX_BINDS + 2 distinct tensors: the MRU prep cache stays
+        # bounded and the overflow is counted as evictions
+        variants = []
+        for seed in range(CompiledJit.MAX_BINDS + 2):
+            case = dict(tensors)
+            case["T"] = random_sparse_tensor((18, 15, 12), density=0.04, seed=seed)
+            variants.append(case)
+            _run(kernel, case, nest)
+        assert len(compiled._binds) <= CompiledJit.MAX_BINDS
+        assert jit_stats()["evictions"] > evictions0
+
+    def test_buffer_pool_reused_across_runs(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor, _, _ = _run(kernel, tensors, nest)
+        compiled = executor._plan.jit
+        warm = {key: buf for key, buf in compiled.pool.items()}
+        assert warm, "the fused callable should pool intermediate buffers"
+        _run(kernel, tensors, nest)
+        for key, buf in warm.items():
+            assert compiled.pool[key] is buf
+
+
+class TestFallback:
+    def test_compile_failure_falls_back_to_lowered(self, mttkrp_setup, monkeypatch):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        monkeypatch.setattr(
+            "repro.engine.executor.compile_program", lambda program: None
+        )
+        executor, out, ctr = _run(kernel, tensors, nest)
+        assert executor.last_engine == "lowered"
+        assert executor._plan.jit is False  # the decline is cached
+        ref_exec, ref, ref_ctr = _run(kernel, tensors, nest, engine="interpret")
+        np.testing.assert_allclose(out, ref, rtol=1e-12, atol=1e-14)
+        assert ctr.as_dict() == ref_ctr.as_dict()
+
+    def test_internal_errors_count_as_rejections(self, mttkrp_setup, monkeypatch):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        executor = LoopNestExecutor(kernel, nest, engine="interpret")
+        executor._prepare(tensors)
+        program = lower_plan(executor)
+        monkeypatch.setattr(
+            codegen_mod, "_compile", lambda program: (_ for _ in ()).throw(RuntimeError)
+        )
+        rejections0 = jit_stats()["rejections"]
+        assert compile_program(program) is None
+        assert jit_stats()["rejections"] == rejections0 + 1
+
+    def test_empty_tensor_interprets(self, mttkrp_setup):
+        from repro.sptensor import COOTensor
+
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        empty = dict(tensors)
+        empty["T"] = COOTensor.empty(tensors["T"].shape)
+        executor, out, _ = _run(kernel, empty, nest)
+        assert executor.last_engine == "interpret"
+        assert np.all(out == 0.0)
+
+    def test_env_variable_selects_jit(self, mttkrp_setup, monkeypatch):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        monkeypatch.setenv("REPRO_ENGINE", "jit")
+        executor = LoopNestExecutor(kernel, nest)
+        assert executor.engine == "jit"
+        executor.execute(tensors)
+        assert executor.last_engine == "jit"
+
+
+class TestStats:
+    def test_jit_stats_in_caches_snapshot(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        _run(kernel, tensors, nest)
+        snapshot = caches_snapshot()
+        assert "jit" in snapshot
+        stats = snapshot["jit"]
+        # the shared six-column cache-stat shape plus codegen extras
+        for key in ("entries", "hits", "misses", "evictions", "rejections", "bytes"):
+            assert key in stats
+        assert stats["entries"] >= 1
+        assert stats["compiles"] >= 1
+        assert stats["runs"] >= 1
+        assert stats["bytes"] > 0  # pooled buffers are byte-accounted
+
+    def test_reset_jit_stats(self, mttkrp_setup):
+        kernel, tensors = mttkrp_setup
+        nest = SpTTNScheduler(kernel).schedule().loop_nest
+        _run(kernel, tensors, nest)
+        assert jit_stats()["compiles"] >= 1
+        reset_jit_stats()
+        stats = jit_stats()
+        assert stats["compiles"] == 0 and stats["runs"] == 0
+        assert stats["misses"] == 0 and stats["evictions"] == 0
+
+
+class TestNumbaGating:
+    def test_numba_env_zero_disables(self, monkeypatch):
+        from repro.engine.lowering import numba_kernels
+
+        monkeypatch.setenv(numba_kernels.NUMBA_ENV, "0")
+        monkeypatch.setitem(numba_kernels._STATE, "resolved", False)
+        monkeypatch.setitem(numba_kernels._STATE, "ok", False)
+        assert not numba_kernels.available()
+        assert numba_kernels.segment_reduce(np.ones((4, 2)), np.array([0, 2, 4])) is None
+
+    def test_segment_reduce_matches_reduceat_when_available(self):
+        from repro.engine.lowering import numba_kernels
+
+        value = np.arange(12.0).reshape(6, 2)
+        bounds = np.array([0, 1, 4, 6])
+        result = numba_kernels.segment_reduce(value, bounds)
+        if result is None:
+            pytest.skip("numba not installed")
+        expected = np.add.reduceat(value, bounds[:-1], axis=0)
+        np.testing.assert_array_equal(result, expected)

@@ -1,17 +1,19 @@
 """Cross-tier conformance matrix: kernel × engine × dtype × CSF mode order.
 
-Every named kernel family is executed through both engine tiers
-(``interpret`` and ``lowered``) for every combination of operand dtype
-(float64/float32) and CSF mode order (identity, reversed, mixed), and each
-cell asserts the full executor contract:
+Every named kernel family is executed through all three engine tiers
+(``jit``, ``lowered`` and ``interpret``) for every combination of operand
+dtype (float64/float32) and CSF mode order (identity, reversed, mixed),
+and each cell asserts the full executor contract:
 
 * results match the dense :mod:`repro.engine.reference` within tolerance
-  (dense operands are coerced to float64 by both tiers, so the tolerance
+  (dense operands are coerced to float64 by all tiers, so the tolerance
   does not degrade for float32 inputs);
-* the two tiers agree with each other to vectorized-summation
-  reassociation (~1 ulp);
+* the tiers agree with each other to vectorized-summation reassociation
+  (~1 ulp);
 * operation counters — flops, bytes moved, buffer resets and per-BLAS-call
-  classification — are *bit-equal* between tiers.
+  classification — are *bit-equal* between tiers;
+* the jit and lowered tiers are asserted *taken* (no silent fallback) in
+  every cell.
 
 This is the deterministic counterpart of the randomized equivalence
 property in ``test_property_based.py``: one cell per supported
@@ -100,12 +102,13 @@ def test_conformance_matrix(name, dtype, mode_order):
             kernel, schedule.loop_nest, counter=counter, engine=engine
         )
         output = executor.execute(mapping)
-        # the lowered tier must actually lower every matrix cell (all named
-        # kernels vectorize on their scheduler-chosen orders, under every
-        # CSF mode order) — otherwise the cross-tier assertions silently
-        # compare the interpreter against itself
-        if engine == "lowered":
-            assert executor.last_engine == "lowered"
+        # the jit/lowered tiers must actually be taken in every matrix
+        # cell (all named kernels vectorize — and their programs compile —
+        # on their scheduler-chosen orders, under every CSF mode order);
+        # otherwise the cross-tier assertions silently compare the
+        # interpreter against itself
+        if engine in ("jit", "lowered"):
+            assert executor.last_engine == engine
         # every tier must match the dense reference...
         assert_same_result(output, expected, rtol=1e-7, atol=1e-9)
         outputs[engine] = (
@@ -114,15 +117,16 @@ def test_conformance_matrix(name, dtype, mode_order):
         counters[engine] = counter
 
     # ...the tiers must agree with each other to ~1 ulp...
-    np.testing.assert_allclose(
-        outputs["lowered"], outputs["interpret"], rtol=1e-12, atol=1e-14
-    )
-    # ...and the operation counters must be bit-equal across tiers.
-    assert counters["lowered"].as_dict() == counters["interpret"].as_dict()
+    for engine in ("jit", "lowered"):
+        np.testing.assert_allclose(
+            outputs[engine], outputs["interpret"], rtol=1e-12, atol=1e-14
+        )
+        # ...and the operation counters must be bit-equal across tiers.
+        assert counters[engine].as_dict() == counters["interpret"].as_dict()
 
 
 def test_matrix_covers_every_tier():
-    """The matrix is only meaningful if both engine tiers are distinct
-    entries of ENGINES (guards against tier renames silently shrinking
-    the matrix)."""
-    assert set(ENGINES) == {"interpret", "lowered"}
+    """The matrix is only meaningful if all three engine tiers are
+    distinct entries of ENGINES (guards against tier renames silently
+    shrinking the matrix)."""
+    assert set(ENGINES) == {"interpret", "lowered", "jit"}

@@ -209,7 +209,7 @@ class TestDaemonEndToEnd:
         assert stats["daemon"]["admitted"] == 2
         assert stats["daemon"]["replied"] == 2
         assert stats["service"]["served"] == 2
-        assert set(stats["caches"]) == {"plan", "schedule", "executor"}
+        assert set(stats["caches"]) == {"plan", "schedule", "executor", "jit"}
         for counters in stats["caches"].values():
             assert {"hits", "misses", "entries"} <= set(counters)
         assert "pools" in stats["pool"] and "default_workers" in stats["pool"]

@@ -104,7 +104,7 @@ class TestEngineSwitch:
         kernel, _ = mttkrp_setup
         nest = SpTTNScheduler(kernel).schedule().loop_nest
         with pytest.raises(ValueError, match="engine"):
-            LoopNestExecutor(kernel, nest, engine="jit")
+            LoopNestExecutor(kernel, nest, engine="vectorized")
 
     def test_interpret_engine_never_lowers(self, mttkrp_setup):
         kernel, tensors = mttkrp_setup

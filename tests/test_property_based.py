@@ -174,16 +174,16 @@ class TestSparseFormatsProperties:
 #: Engine coverage observed by the randomized equivalence cases; asserted
 #: after the property test so a regression that silently turns every case
 #: into interpreter-vs-interpreter comparisons cannot pass unnoticed.
-_ENGINE_COVERAGE = {"lowered": 0, "interpret": 0}
+_ENGINE_COVERAGE = {"jit": 0, "lowered": 0, "interpret": 0}
 
 
 class TestLoweringProperties:
-    """The lowered engine must be observationally equivalent to the
-    interpreter for every (kernel, loop order, operand dtype) it accepts —
-    and transparently identical when it falls back.  Results agree to the
-    floating-point reassociation of vectorized summation (~1 ulp, the same
-    contract the fused MTTKRP sweep established); operation counters agree
-    exactly."""
+    """The jit and lowered engines must be observationally equivalent to
+    the interpreter for every (kernel, loop order, operand dtype) they
+    accept — and transparently identical when they fall back.  Results
+    agree to the floating-point reassociation of vectorized summation
+    (~1 ulp, the same contract the fused MTTKRP sweep established);
+    operation counters agree exactly."""
 
     @SETTINGS
     @given(
@@ -215,7 +215,7 @@ class TestLoweringProperties:
         for nest in nests:
             outputs = {}
             counters = {}
-            for engine in ("lowered", "interpret"):
+            for engine in ("jit", "lowered", "interpret"):
                 counter = OpCounter()
                 executor = LoopNestExecutor(
                     kernel, nest, counter=counter, engine=engine
@@ -225,21 +225,24 @@ class TestLoweringProperties:
                     output = output.values
                 outputs[engine] = np.asarray(output)
                 counters[engine] = counter
-                if engine == "lowered":
+                if engine != "interpret":
                     _ENGINE_COVERAGE[executor.last_engine] += 1
-            np.testing.assert_allclose(
-                outputs["lowered"], outputs["interpret"], rtol=1e-12, atol=1e-14
-            )
-            assert counters["lowered"].as_dict() == counters["interpret"].as_dict()
+            for engine in ("jit", "lowered"):
+                np.testing.assert_allclose(
+                    outputs[engine], outputs["interpret"], rtol=1e-12, atol=1e-14
+                )
+                assert counters[engine].as_dict() == counters["interpret"].as_dict()
 
-    def test_lowered_path_was_exercised(self):
+    def test_fast_paths_were_exercised(self):
         """Guard against the randomized cases silently degrading into
         interpreter-vs-interpreter comparisons (e.g. an overeager
-        ``NotLowerable``): the vast majority of scheduled random kernels
-        lower, so at least one example must have taken the lowered path."""
+        ``NotLowerable`` or a codegen ``_NotCompilable``): the vast
+        majority of scheduled random kernels lower *and* compile, so at
+        least one example must have taken each fast tier."""
         if sum(_ENGINE_COVERAGE.values()) == 0:
             pytest.skip("randomized equivalence cases did not run")
         assert _ENGINE_COVERAGE["lowered"] > 0
+        assert _ENGINE_COVERAGE["jit"] > 0
 
 
 # --------------------------------------------------------------------------- #
