@@ -215,7 +215,7 @@ def cmd_tune(args) -> int:
         else "\nscheduler's pick lies outside the swept candidate set"
     )
 
-    if args.measure:
+    if args.measure or args.calibrate:
         mapping = {op.name: t for op, t in zip(kernel.operands, operands)}
         runner = ExecutionRunner(kernel, mapping)
         tuner = Autotuner(kernel, runner, repeats=args.repeats)
@@ -237,7 +237,53 @@ def cmd_tune(args) -> int:
                 f"\nscheduler's pick ranks #{measured_rank} of "
                 f"{len(result.entries)} by measured time"
             )
+        if args.calibrate:
+            _tune_calibrate(args, kernel, tuner, result)
     return 0
+
+
+def _tune_calibrate(args, kernel, tuner, result) -> None:
+    """Fit measured cost coefficients and report the re-ranked sweep."""
+    from repro.core.search import CostModelEvaluator
+    from repro.engine.plan_store import default_plan_store
+
+    coefficients = tuner.fit_calibration(result, apply=True)
+    if coefficients is None:
+        print(
+            "\ncalibration: too few usable measurements to fit "
+            "(need >= 2 constraint-satisfying candidates)"
+        )
+        return
+    print("\ncalibrated cost coefficients (seconds per unit):")
+    for name, value in sorted(coefficients.as_dict().items()):
+        print(f"  {name:>14s} = {value:.3e}")
+
+    # Re-rank the measured candidates under the calibrated model and show
+    # where the measured-fastest candidate lands — the whole point of
+    # calibration is pushing that toward rank #0.
+    evaluator = CostModelEvaluator(
+        kernel, ExecutionCost(kernel, buffer_dim_bound=args.buffer_bound)
+    )
+    rescored = sorted(
+        ((evaluator(e.loop_nest), i) for i, e in enumerate(result.entries)),
+    )
+    fastest_rank = next(
+        rank for rank, (_, i) in enumerate(rescored) if i == 0
+    )
+    print(
+        f"calibrated model ranks the measured-fastest candidate "
+        f"#{fastest_rank} of {len(rescored)}"
+    )
+
+    store = default_plan_store()
+    if store is not None:
+        store.save_calibration(coefficients.as_dict())
+        print(f"calibration persisted to {store.root}")
+    else:
+        print(
+            "calibration applied to this process only "
+            "(set REPRO_PLAN_STORE to persist it)"
+        )
 
 
 def cmd_dist(args) -> int:
@@ -480,6 +526,10 @@ def cmd_serve(args) -> int:
 
     print("\nprocess cache statistics:")
     _print_cache_stats(service.cache_stats())
+    from repro.engine.plan_store import plan_store_snapshot
+
+    if plan_store_snapshot().get("configured"):
+        _print_store_stats()
     return 0
 
 
@@ -508,14 +558,18 @@ def cmd_cache(args) -> int:
     column; ``rejections`` counts oversized entries refused admission.
 
     Per-plan-signature timing records (count, total, min, mean, max per
-    executed plan) accumulated by the executor are printed below the cache
-    table whenever any exist; ``--clear`` drops them too.
+    executed plan and *phase* — ``prepare`` covers CSF conversion, plan
+    build and JIT compilation, ``execute`` the steady-state run) accumulated
+    by the executor are printed below the cache table whenever any exist;
+    ``--clear`` drops them too.  ``--store`` additionally reports the
+    disk-backed plan store named by ``REPRO_PLAN_STORE``.
     """
     from repro.engine.lowering.codegen import reset_jit_stats
     from repro.engine.plan_cache import (
         caches_snapshot,
         clear_plan_timings,
         plan_timings_snapshot,
+        plan_timings_stats,
     )
 
     caches = {
@@ -534,20 +588,47 @@ def cmd_cache(args) -> int:
         print("reset cache statistics")
     print()
     _print_cache_stats(caches_snapshot())
+    if args.store:
+        _print_store_stats()
     rows = plan_timings_snapshot()
     if rows:
-        print(f"\nper-plan timings ({len(rows)} signature(s), by total time):")
+        registry = plan_timings_stats()
         print(
-            f"{'digest':>18s} {'engine':>8s} {'count':>6s} {'total [ms]':>11s} "
-            f"{'mean [ms]':>10s} {'max [ms]':>9s}  plan"
+            f"\nper-plan timings ({registry['signatures']} row(s), "
+            f"cap {registry['cap']}, {registry['evictions']} evicted, "
+            f"by total time):"
+        )
+        print(
+            f"{'digest':>18s} {'engine':>8s} {'phase':>8s} {'count':>6s} "
+            f"{'total [ms]':>11s} {'mean [ms]':>10s} {'max [ms]':>9s}  plan"
         )
         for row in rows[: args.top]:
             print(
-                f"{row['digest']:>18s} {row['engine']:>8s} {row['count']:6d} "
+                f"{row['digest']:>18s} {row['engine']:>8s} "
+                f"{row['phase']:>8s} {row['count']:6d} "
                 f"{row['total_s'] * 1e3:11.2f} {row['mean_s'] * 1e3:10.3f} "
                 f"{row['max_s'] * 1e3:9.2f}  {row['plan']}"
             )
     return 0
+
+
+def _print_store_stats() -> None:
+    """Print the default plan store's stats (or that none is configured)."""
+    from repro.engine.plan_store import PLAN_STORE_ENV, plan_store_snapshot
+
+    snap = plan_store_snapshot()
+    if not snap.get("configured"):
+        print(f"\nplan store: not configured (set {PLAN_STORE_ENV})")
+        return
+    print(f"\nplan store at {snap['path']}:")
+    print(
+        f"{'entries':>8s} {'hits':>8s} {'misses':>8s} {'writes':>8s} "
+        f"{'errors':>8s} {'bytes':>12s}"
+    )
+    print(
+        f"{snap['entries']:8d} {snap['hits']:8d} {snap['misses']:8d} "
+        f"{snap['writes']:8d} {snap['errors']:8d} {snap['bytes']:12,d}"
+    )
 
 
 def cmd_datasets(args) -> int:
@@ -629,6 +710,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_tune.add_argument("--repeats", type=int, default=1,
                         help="timed repetitions per measured candidate")
+    p_tune.add_argument(
+        "--calibrate", action="store_true",
+        help="fit measured cost-model coefficients from the timed "
+        "candidates (implies --measure), apply them process-wide, report "
+        "the re-ranked sweep, and persist them when REPRO_PLAN_STORE is set",
+    )
     p_tune.set_defaults(func=cmd_tune)
 
     p_dist = sub.add_parser(
@@ -771,6 +858,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="zero the hit/miss/eviction counters")
     p_cache.add_argument("--top", type=int, default=20,
                          help="per-plan timing rows to print (default 20)")
+    p_cache.add_argument(
+        "--store", action="store_true",
+        help="also show the disk-backed plan store stats (REPRO_PLAN_STORE)",
+    )
     p_cache.set_defaults(func=cmd_cache)
 
     p_data = sub.add_parser("datasets", help="list the FROSTT dataset presets")

@@ -129,16 +129,23 @@ class ExecutionRunner:
         kernel: SpTTNKernel,
         tensors: Mapping[str, object],
         offload: bool = True,
+        engine: Optional[str] = None,
     ) -> None:
         self.kernel = kernel
         self.tensors = dict(tensors)
         self.offload = bool(offload)
+        # pinned at construction (a string survives pickling into workers)
+        # so a sweep measures one engine regardless of worker environment;
+        # None defers to each process's REPRO_ENGINE default
+        self.engine = engine
 
     def __call__(self, nest: LoopNest):
         # Imported here: repro.engine depends on repro.core, not vice versa.
         from repro.engine.plan_cache import cached_executor
 
-        executor = cached_executor(self.kernel, nest, offload=self.offload)
+        executor = cached_executor(
+            self.kernel, nest, offload=self.offload, engine=self.engine
+        )
         return executor.execute(self.tensors)
 
 

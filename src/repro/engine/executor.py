@@ -79,8 +79,10 @@ from repro.engine.plan_cache import (
     default_plan_cache,
     operand_signature,
     plan_key,
+    record_plan_features,
     record_plan_timing,
 )
+from repro.core.calibrate import cost_features, predict_seconds
 from repro.obs.trace import span as _span
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.csf import CSFTensor, csf_for_mode_order
@@ -201,6 +203,7 @@ class LoopNestExecutor:
         self._out_values: Optional[np.ndarray] = None
         self._plan: Optional[CompiledPlan] = None
         self._bound_sites: Dict[Tuple[Tuple[int, ...], int], list] = {}
+        self._features_registered = False
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -220,22 +223,33 @@ class LoopNestExecutor:
         :meth:`~repro.sptensor.coo.COOTensor.with_values` instead.
         """
         start = time.perf_counter()
+        # preparation (COO→CSF conversion, plan fetch/build, lowering and
+        # jit compilation) is timed separately from steady-state execution:
+        # both are recorded, but under distinct phases, so cold-call
+        # compilation never poisons the per-plan calibration feed
+        prepare_s = 0.0
         with _span("execute", "engine", engine=self.engine):
+            mark = time.perf_counter()
             self._prepare(tensors)
+            prepare_s += time.perf_counter() - mark
             plan = self._plan
             assert plan is not None and self._csf is not None
             plan_state = _plan_state(plan)
             self.last_engine = "interpret"
             if self.engine in ("jit", "lowered") and self._csf.nnz > 0:
                 if plan.lowered is None:
+                    mark = time.perf_counter()
                     program = lower_plan(self)
                     plan.lowered = program if program is not None else False
+                    prepare_s += time.perf_counter() - mark
                 if plan.lowered is not False:
                     if self.engine == "jit":
                         if plan.jit is None:
+                            mark = time.perf_counter()
                             with _span("compile", "jit", ops=plan.lowered.n_ops):
                                 compiled = compile_program(plan.lowered)
                             plan.jit = compiled if compiled is not None else False
+                            prepare_s += time.perf_counter() - mark
                         if plan.jit is not False:
                             with _span("run", "jit", nnz=self._csf.nnz):
                                 plan.jit.run(
@@ -262,9 +276,8 @@ class LoopNestExecutor:
             if self.last_engine == "interpret":
                 positions = tuple(range(len(self.path)))
                 self._run(positions, 0, {}, -1, 0)
-        record_plan_timing(
-            plan.key, self.last_engine, time.perf_counter() - start
-        )
+        total_s = time.perf_counter() - start
+        self._record_timings(plan.key, prepare_s, max(0.0, total_s - prepare_s))
         if self.kernel.output.is_sparse:
             result: Union[np.ndarray, COOTensor] = self._sparse_output()
         else:
@@ -276,6 +289,34 @@ class LoopNestExecutor:
             self._cache.reaccount(plan.key)
         self._release_bindings()
         return result
+
+    # ------------------------------------------------------------------ #
+    # Timing feed
+    # ------------------------------------------------------------------ #
+    def _record_timings(
+        self, key, prepare_s: float, execute_s: float
+    ) -> None:
+        """Feed the per-plan timing registry (the calibration input).
+
+        Preparation and steady-state execution go in under separate
+        phases; on the first execution the plan's cost-model feature
+        vector (:func:`repro.core.calibrate.cost_features`) is registered
+        alongside, together with the active calibration's predicted
+        seconds (when one is installed) for online drift detection.
+        Feature extraction mirrors :class:`ExecutionCost`'s offload
+        model, so it is skipped for ``offload=False`` executors.
+        """
+        engine = self.last_engine or self.engine
+        record_plan_timing(key, engine, prepare_s, phase="prepare")
+        record_plan_timing(key, engine, execute_s, phase="execute")
+        if self._features_registered or not self.offload:
+            return
+        self._features_registered = True
+        try:
+            features = cost_features(self.kernel, self.loop_nest)
+        except Exception:  # a foreign cost shape must never fail execution
+            return
+        record_plan_features(key, features, predict_seconds(features))
 
     # ------------------------------------------------------------------ #
     # Preparation

@@ -32,17 +32,23 @@ is safe.
 
 from __future__ import annotations
 
-import hashlib
 import os
 import sys
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.expr import SpTTNKernel
-from repro.obs.metrics import register_source
+from repro.engine.keys import canonical_key, key_digest
+from repro.engine.plan_store import (
+    PlanStore,
+    default_plan_store,
+    schedule_from_payload,
+    schedule_payload,
+)
+from repro.obs.metrics import inc_counter, register_source
 from repro.obs.trace import span as _span
 from repro.core.loop_nest import LoopNest
 from repro.core.scheduler import Schedule, SpTTNScheduler
@@ -479,7 +485,26 @@ def describe_plan_key(key: PlanKey) -> str:
         order_s = ";".join(",".join(order) for order in orders)
         return f"{spec} [{order_s}]"
     except Exception:  # foreign key shapes must not break introspection
-        return repr(key)[:80]
+        return canonical_key(key)[:80]
+
+
+#: Environment variable bounding the default timing registry's signature
+#: count (unset/invalid = the built-in default below).
+PLAN_TIMINGS_CAP_ENV = "REPRO_PLAN_TIMINGS_CAP"
+
+#: Default bound on distinct ``(plan key, engine, phase)`` rows retained.
+DEFAULT_PLAN_TIMINGS_CAP = 1024
+
+
+def _env_timings_cap() -> int:
+    raw = os.environ.get(PLAN_TIMINGS_CAP_ENV)
+    if raw is None or not raw.strip():
+        return DEFAULT_PLAN_TIMINGS_CAP
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_PLAN_TIMINGS_CAP
+    return value if value >= 1 else DEFAULT_PLAN_TIMINGS_CAP
 
 
 class PlanTimings:
@@ -487,59 +512,172 @@ class PlanTimings:
 
     The calibration feed for measurement-driven autotuning (ROADMAP item
     4): every :meth:`~repro.engine.executor.LoopNestExecutor.execute` call
-    records its wall-clock time under ``(plan key, engine actually run)``,
-    and :meth:`snapshot` reports count/total/min/mean/max per signature —
-    visible via ``repro cache``, the service stats and the daemon's
+    records wall-clock time under ``(plan key, engine actually run,
+    phase)``, where the phase separates one-time preparation
+    (``"prepare"``: COO→CSF conversion, plan build, lowering/jit
+    compilation) from steady-state execution (``"execute"``) so cold-call
+    compilation never poisons the calibration fit.  :meth:`snapshot`
+    reports count/total/min/mean/max per signature — visible via
+    ``repro cache``, the service stats and the daemon's
     ``stats``/``metrics`` operations.
+
+    The registry is a *capped* LRU over signatures (``max_records``,
+    defaulting to ``REPRO_PLAN_TIMINGS_CAP`` else
+    :data:`DEFAULT_PLAN_TIMINGS_CAP`): a long-lived daemon serving many
+    distinct plans ages out the least-recently-recorded rows instead of
+    growing without bound, counting them in ``evictions``.
+
+    Executors additionally register the cost model's *feature vector* of
+    each plan (:func:`repro.core.calibrate.cost_features`) together with
+    the model's predicted seconds; :meth:`training_rows` joins those with
+    the measured execute-phase timings to form the calibration fit's
+    input, and :meth:`drift_rows` the observed-vs-predicted pairs driving
+    online re-tuning.
 
     Thread-safe: serving flushes record from worker threads.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError("max_records must be None or >= 1")
         self._lock = threading.Lock()
-        # key -> [count, total, min, max]
-        self._records: Dict[Tuple[PlanKey, str], List[float]] = {}
+        self.max_records = (
+            _env_timings_cap() if max_records is None else max_records
+        )
+        self.evictions = 0
+        # (key, engine, phase) -> [count, total, min, max], LRU order
+        self._records: "OrderedDict[Tuple[PlanKey, str, str], List[float]]" = (
+            OrderedDict()
+        )
+        # plan key -> cost-model feature vector / predicted seconds
+        self._features: Dict[PlanKey, Tuple[float, ...]] = {}
+        self._predictions: Dict[PlanKey, float] = {}
 
-    def record(self, key: PlanKey, engine: str, seconds: float) -> None:
-        """Account one execution of *key* on *engine*."""
+    def record(
+        self, key: PlanKey, engine: str, seconds: float, phase: str = "execute"
+    ) -> None:
+        """Account one *phase* of one execution of *key* on *engine*."""
         with self._lock:
-            rec = self._records.get((key, engine))
+            record_key = (key, engine, phase)
+            rec = self._records.get(record_key)
             if rec is None:
-                self._records[(key, engine)] = [1, seconds, seconds, seconds]
+                self._records[record_key] = [1, seconds, seconds, seconds]
             else:
                 rec[0] += 1
                 rec[1] += seconds
                 rec[2] = min(rec[2], seconds)
                 rec[3] = max(rec[3], seconds)
+                self._records.move_to_end(record_key)
+            while len(self._records) > self.max_records:
+                (old_key, _, _), _ = self._records.popitem(last=False)
+                self.evictions += 1
+                if not any(k == old_key for k, _, _ in self._records):
+                    self._features.pop(old_key, None)
+                    self._predictions.pop(old_key, None)
+
+    def record_features(
+        self,
+        key: PlanKey,
+        features: Tuple[float, ...],
+        predicted_s: Optional[float] = None,
+    ) -> None:
+        """Attach a cost-model feature vector (and prediction) to *key*."""
+        with self._lock:
+            self._features[key] = tuple(float(f) for f in features)
+            if predicted_s is not None:
+                self._predictions[key] = float(predicted_s)
+            while len(self._features) > self.max_records:
+                self._features.pop(next(iter(self._features)))
+            while len(self._predictions) > self.max_records:
+                self._predictions.pop(next(iter(self._predictions)))
+
+    def features_of(self, key: PlanKey) -> Optional[Tuple[float, ...]]:
+        with self._lock:
+            return self._features.get(key)
+
+    def feature_items(self) -> List[Tuple[PlanKey, Tuple[float, ...]]]:
+        """All registered ``(plan key, feature vector)`` pairs."""
+        with self._lock:
+            return list(self._features.items())
+
+    def training_rows(
+        self, engine: Optional[str] = None, phase: str = "execute"
+    ) -> List[Tuple[Tuple[float, ...], float]]:
+        """``(feature vector, mean measured seconds)`` pairs for fitting.
+
+        Only rows of the requested *phase* (steady-state execution by
+        default) whose plan key has a registered feature vector
+        participate; *engine* restricts to one engine's measurements
+        (``None`` = all).
+        """
+        with self._lock:
+            items = list(self._records.items())
+            features = dict(self._features)
+        rows = []
+        for (key, eng, ph), (count, total, _lo, _hi) in items:
+            if ph != phase or (engine is not None and eng != engine):
+                continue
+            vector = features.get(key)
+            if vector is None or count < 1:
+                continue
+            rows.append((vector, total / count))
+        return rows
+
+    def drift_rows(self, phase: str = "execute") -> List[Tuple[float, float]]:
+        """``(predicted seconds, observed mean seconds)`` pairs."""
+        with self._lock:
+            items = list(self._records.items())
+            predictions = dict(self._predictions)
+        rows = []
+        for (key, _eng, ph), (count, total, _lo, _hi) in items:
+            if ph != phase or count < 1:
+                continue
+            predicted = predictions.get(key)
+            if predicted is None or predicted <= 0.0:
+                continue
+            rows.append((predicted, total / count))
+        return rows
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._records)
 
     def clear(self) -> None:
-        """Drop every accumulated record."""
+        """Drop every accumulated record, feature and prediction."""
         with self._lock:
             self._records.clear()
+            self._features.clear()
+            self._predictions.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Bound/occupancy counters for the stats surfaces."""
+        with self._lock:
+            return {
+                "signatures": len(self._records),
+                "cap": self.max_records,
+                "evictions": self.evictions,
+                "features": len(self._features),
+            }
 
     def snapshot(self) -> List[Dict[str, object]]:
         """JSON-safe rows sorted by total time descending.
 
-        Each row carries a stable ``digest`` of the structural key (for
-        cross-snapshot correlation), a readable ``plan`` label, the engine
-        and the count/total/min/mean/max statistics in seconds.
+        Each row carries the canonical ``digest`` of the structural key
+        (:func:`repro.engine.keys.key_digest` — stable across processes
+        and NumPy versions, so snapshots from different daemon runs
+        correlate), a readable ``plan`` label, the engine, the phase and
+        the count/total/min/mean/max statistics in seconds.
         """
         with self._lock:
             items = list(self._records.items())
         rows = []
-        for (key, engine), (count, total, lo, hi) in items:
-            digest = hashlib.blake2s(
-                repr((key, engine)).encode(), digest_size=8
-            ).hexdigest()
+        for (key, engine, phase), (count, total, lo, hi) in items:
             rows.append(
                 {
-                    "digest": digest,
+                    "digest": key_digest(key),
                     "plan": describe_plan_key(key),
                     "engine": engine,
+                    "phase": phase,
                     "count": int(count),
                     "total_s": total,
                     "min_s": lo,
@@ -553,20 +691,59 @@ class PlanTimings:
 
 _DEFAULT_PLAN_TIMINGS = PlanTimings()
 
+#: Records between online drift checks (kept coarse so the steady-state
+#: recording path stays a dict update).
+_RETUNE_CHECK_EVERY = 64
+_records_since_check = 0
+
 
 def default_plan_timings() -> PlanTimings:
     """The process-wide per-plan timing registry the executor records into."""
     return _DEFAULT_PLAN_TIMINGS
 
 
-def record_plan_timing(key: PlanKey, engine: str, seconds: float) -> None:
-    """Record one measured execution into the process-wide registry."""
-    _DEFAULT_PLAN_TIMINGS.record(key, engine, seconds)
+def record_plan_timing(
+    key: PlanKey, engine: str, seconds: float, phase: str = "execute"
+) -> None:
+    """Record one measured phase into the process-wide registry.
+
+    Every :data:`_RETUNE_CHECK_EVERY` records the calibration layer is
+    given a chance to re-fit (:func:`repro.core.calibrate.maybe_retune`)
+    when observed latencies have drifted from the model's predictions; a
+    re-fit is persisted through the default plan store when one is
+    configured.
+    """
+    _DEFAULT_PLAN_TIMINGS.record(key, engine, seconds, phase=phase)
+    global _records_since_check
+    _records_since_check += 1
+    if _records_since_check >= _RETUNE_CHECK_EVERY:
+        _records_since_check = 0
+        from repro.core.calibrate import maybe_retune
+
+        coefficients = maybe_retune(_DEFAULT_PLAN_TIMINGS)
+        if coefficients is not None:
+            store = default_plan_store()
+            if store is not None:
+                store.save_calibration(coefficients.as_dict())
+
+
+def record_plan_features(
+    key: PlanKey,
+    features: Tuple[float, ...],
+    predicted_s: Optional[float] = None,
+) -> None:
+    """Register a plan's cost-model features in the process registry."""
+    _DEFAULT_PLAN_TIMINGS.record_features(key, features, predicted_s)
 
 
 def plan_timings_snapshot() -> List[Dict[str, object]]:
     """Rows of the process-wide per-plan timing registry (total-desc)."""
     return _DEFAULT_PLAN_TIMINGS.snapshot()
+
+
+def plan_timings_stats() -> Dict[str, int]:
+    """Bound/occupancy counters of the process-wide timing registry."""
+    return _DEFAULT_PLAN_TIMINGS.stats()
 
 
 def clear_plan_timings() -> None:
@@ -583,6 +760,16 @@ register_source("plan_timings", plan_timings_snapshot)
 # --------------------------------------------------------------------------- #
 # Schedule caching
 # --------------------------------------------------------------------------- #
+#: Count of real schedule searches run by :func:`cached_schedule` (i.e.
+#: neither the in-memory LRU nor the plan store had the answer).
+_schedule_searches = 0
+
+
+def schedule_search_count() -> int:
+    """Process-wide number of schedule searches actually executed."""
+    return _schedule_searches
+
+
 def cached_schedule(
     kernel: SpTTNKernel,
     buffer_dim_bound: Optional[int] = 2,
@@ -590,6 +777,7 @@ def cached_schedule(
     max_paths: Optional[int] = 5000,
     enforce_csf_order: bool = True,
     cache: Optional[PlanCache] = None,
+    store: Union[PlanStore, bool, None] = True,
 ) -> Schedule:
     """Run the scheduler's search once per kernel structure per process.
 
@@ -600,6 +788,14 @@ def cached_schedule(
     any kernel with the same signature.  Custom cost functions cannot be
     keyed, so use :class:`~repro.core.scheduler.SpTTNScheduler` directly
     for those.
+
+    On an in-memory miss the disk store is consulted before searching:
+    ``store=True`` (default) resolves the ``REPRO_PLAN_STORE`` default
+    store (no-op when unset), a :class:`~repro.engine.plan_store.PlanStore`
+    instance uses that store (isolation for tests), ``False``/``None``
+    disables persistence.  A store hit deserializes the previously
+    selected schedule — zero search — and any fresh search result is
+    written back, so the *next* process warm-starts.
 
     Examples
     --------
@@ -612,8 +808,26 @@ def cached_schedule(
     key = schedule_key(
         kernel, buffer_dim_bound, flop_tolerance, max_paths, enforce_csf_order
     )
+    if store is True:
+        resolved_store: Optional[PlanStore] = default_plan_store()
+    elif store is False or store is None:
+        resolved_store = None
+    else:
+        resolved_store = store
 
     def build() -> Schedule:
+        if resolved_store is not None:
+            payload = resolved_store.get(key)
+            if payload is not None:
+                try:
+                    restored = schedule_from_payload(kernel, payload)
+                except Exception:
+                    # digest collision or foreign/hand-edited entry: count
+                    # it as a miss and fall through to a fresh search
+                    resolved_store.note_invalid()
+                else:
+                    inc_counter("store.schedule_loads")
+                    return restored
         scheduler = SpTTNScheduler(
             kernel,
             buffer_dim_bound=buffer_dim_bound,
@@ -622,7 +836,13 @@ def cached_schedule(
             enforce_csf_order=enforce_csf_order,
         )
         with _span("schedule_search", "scheduler"):
-            return scheduler.schedule()
+            schedule = scheduler.schedule()
+        global _schedule_searches
+        _schedule_searches += 1
+        inc_counter("schedule.searches")
+        if resolved_store is not None:
+            resolved_store.put(key, schedule_payload(schedule))
+        return schedule
 
     schedule = cache.get_or_create(key, build)
     assert isinstance(schedule, Schedule)

@@ -55,7 +55,13 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Deque, Dict, List, Optional, Tuple, Union
 
-from repro.engine.plan_cache import caches_snapshot, plan_timings_snapshot
+from repro.core.calibrate import calibration_state
+from repro.engine.plan_cache import (
+    caches_snapshot,
+    plan_timings_snapshot,
+    plan_timings_stats,
+)
+from repro.engine.plan_store import plan_store_snapshot
 from repro.obs.export import write_trace
 from repro.obs.metrics import metrics_snapshot, observe, prometheus_text
 from repro.obs.trace import (
@@ -573,6 +579,11 @@ class ServeDaemon:
         per-stage latency histograms; the caches/pool sources are already
         present as top-level keys) and ``plan_timings`` the per-plan-
         signature timing records — the calibration feed of ROADMAP item 4.
+        ``plan_timings_stats`` reports that registry's LRU bound and
+        eviction count, ``plan_store`` the disk-backed schedule store
+        (``{"configured": False}`` without ``REPRO_PLAN_STORE``) and
+        ``calibration`` the measured-coefficient state of
+        :mod:`repro.core.calibrate`.
         """
         return {
             "version": protocol.PROTOCOL_VERSION,
@@ -584,6 +595,9 @@ class ServeDaemon:
             "pool": pool_stats(),
             "metrics": metrics_snapshot(include_sources=False),
             "plan_timings": plan_timings_snapshot(),
+            "plan_timings_stats": plan_timings_stats(),
+            "plan_store": plan_store_snapshot(),
+            "calibration": calibration_state(),
         }
 
     async def _close_everything(self) -> None:

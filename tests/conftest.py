@@ -13,8 +13,9 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 import repro
+from repro.core.calibrate import reset_calibration
 from repro.core.expr import parse_kernel
-from repro.engine.plan_cache import clear_caches
+from repro.engine.plan_cache import clear_caches, clear_plan_timings
 from repro.sptensor import COOTensor, random_dense_matrix, random_sparse_tensor
 
 # --------------------------------------------------------------------------- #
@@ -44,10 +45,19 @@ def _fresh_caches():
     internals (or asserts on cold-start behaviour) must not observe state
     from an unrelated test.  Clearing on both sides keeps every test
     hermetic.
+
+    The per-plan timing registry and the calibration state are global for
+    the same reason the caches are, and are reset on both sides too — a
+    test that installs measured coefficients must not change how every
+    later test's scheduler ranks candidates.
     """
     clear_caches()
+    clear_plan_timings()
+    reset_calibration()
     yield
     clear_caches()
+    clear_plan_timings()
+    reset_calibration()
 
 
 @pytest.fixture

@@ -299,14 +299,18 @@ def test_plan_timings_record_per_signature(ttmc_setup):
     for _ in range(3):
         executor.execute(tensors)
     rows = plan_timings_snapshot()
-    assert len(rows) == 1
-    row = rows[0]
-    assert row["count"] == 3
-    assert row["total_s"] >= row["min_s"] * 3 - 1e-9
-    assert row["mean_s"] == pytest.approx(row["total_s"] / 3)
-    assert row["max_s"] >= row["mean_s"] - 1e-12
-    assert "ijk,jr,ks->irs" in row["plan"]
-    assert len(row["digest"]) == 16  # blake2s, 8 bytes hex
+    # one plan signature, two phases: cold-call preparation (CSF
+    # conversion, plan build, JIT) and steady-state execution
+    assert len(rows) == 2
+    assert {row["phase"] for row in rows} == {"prepare", "execute"}
+    assert len({row["digest"] for row in rows}) == 1
+    for row in rows:
+        assert row["count"] == 3
+        assert row["total_s"] >= row["min_s"] * 3 - 1e-9
+        assert row["mean_s"] == pytest.approx(row["total_s"] / 3)
+        assert row["max_s"] >= row["mean_s"] - 1e-12
+        assert "ijk,jr,ks->irs" in row["plan"]
+        assert len(row["digest"]) == 16  # blake2s, 8 bytes hex
 
 
 # --------------------------------------------------------------------------- #

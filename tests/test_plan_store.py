@@ -1,0 +1,304 @@
+"""Disk-backed plan store: persistence, tolerance and warm starts.
+
+Covers the PR-9 acceptance criteria: schedule round-trips through the
+store, a second "process" (fresh in-memory cache) warm-starts with zero
+schedule searches, corrupt/truncated/mismatched entries degrade to misses
+(never errors), concurrent writers cannot produce torn files, and the
+per-plan timing registry stays bounded.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.expr import parse_kernel
+from repro.engine.keys import canonical_key, key_digest
+from repro.engine.plan_cache import (
+    PlanCache,
+    PlanTimings,
+    cached_schedule,
+    schedule_key,
+    schedule_search_count,
+)
+from repro.engine.plan_store import (
+    PLAN_STORE_ENV,
+    STORE_VERSION,
+    PlanStore,
+    default_plan_store,
+    plan_store_snapshot,
+    schedule_from_payload,
+    schedule_payload,
+)
+from repro.sptensor import random_dense_matrix, random_sparse_tensor
+
+
+def _mttkrp_kernel(seed: int = 0, rank: int = 4):
+    T = random_sparse_tensor((30, 25, 20), nnz=400, seed=seed)
+    B = random_dense_matrix(25, rank, seed=seed + 1)
+    C = random_dense_matrix(20, rank, seed=seed + 2)
+    return parse_kernel("ijk,ja,ka->ia", [T, B, C], names=["T", "B", "C"])
+
+
+# --------------------------------------------------------------------------- #
+# Canonical keys
+# --------------------------------------------------------------------------- #
+class TestCanonicalKeys:
+    def test_numpy_scalars_serialize_like_python_scalars(self):
+        mixed = (1, np.int64(5), ("a", np.float64(2.5)), np.bool_(True), None)
+        plain = (1, 5, ("a", 2.5), True, None)
+        assert canonical_key(mixed) == canonical_key(plain)
+        assert key_digest(mixed) == key_digest(plain)
+
+    def test_canonical_key_is_json(self):
+        doc = json.loads(canonical_key((1, ("x", 2.0), {"b": 2, "a": 1})))
+        assert doc == [1, ["x", 2.0], {"a": 1, "b": 2}]
+
+    def test_digest_is_stable_hex(self):
+        digest = key_digest(("schedule", "anything"))
+        assert len(digest) == 16
+        assert digest == key_digest(("schedule", "anything"))
+        assert digest != key_digest(("schedule", "other"))
+
+
+# --------------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    def test_schedule_payload_round_trips(self):
+        kernel = _mttkrp_kernel()
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=False)
+        restored = schedule_from_payload(kernel, schedule_payload(schedule))
+        assert restored.loop_nest.order == schedule.loop_nest.order
+        assert restored.loop_nest.path.terms == schedule.loop_nest.path.terms
+        assert restored.cost_value == schedule.cost_value
+        assert restored.flop_estimate == schedule.flop_estimate
+
+    def test_payload_survives_json(self, tmp_path):
+        kernel = _mttkrp_kernel()
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=False)
+        text = json.dumps(schedule_payload(schedule))
+        restored = schedule_from_payload(kernel, json.loads(text))
+        assert restored.loop_nest.order == schedule.loop_nest.order
+
+    def test_store_get_put(self, tmp_path):
+        store = PlanStore(tmp_path / "store")
+        kernel = _mttkrp_kernel()
+        key = schedule_key(kernel, 2, 1.5, 5000, True)
+        assert store.get(key) is None  # cold
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=False)
+        assert store.put(key, schedule_payload(schedule))
+        payload = store.get(key)
+        assert payload is not None
+        restored = schedule_from_payload(kernel, payload)
+        assert restored.loop_nest.order == schedule.loop_nest.order
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["writes"] == 1 and stats["errors"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Warm starts
+# --------------------------------------------------------------------------- #
+class TestWarmStart:
+    def test_second_process_pays_zero_searches(self, tmp_path):
+        """A fresh in-memory cache sharing the store skips search entirely."""
+        store = PlanStore(tmp_path / "store")
+        kernel = _mttkrp_kernel()
+
+        before = schedule_search_count()
+        first = cached_schedule(kernel, cache=PlanCache(), store=store)
+        assert schedule_search_count() == before + 1  # cold: one real search
+
+        # a "restarted process": new schedule cache, same store directory
+        warm = cached_schedule(kernel, cache=PlanCache(), store=store)
+        assert schedule_search_count() == before + 1  # zero further searches
+        assert store.stats()["hits"] == 1
+        assert warm.loop_nest.order == first.loop_nest.order
+        assert warm.loop_nest.path.terms == first.loop_nest.path.terms
+
+    def test_default_store_resolves_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(PLAN_STORE_ENV, raising=False)
+        assert default_plan_store() is None
+        assert plan_store_snapshot() == {"configured": False}
+
+        monkeypatch.setenv(PLAN_STORE_ENV, str(tmp_path / "envstore"))
+        store = default_plan_store()
+        assert store is not None
+        assert default_plan_store() is store  # cached while env unchanged
+
+        kernel = _mttkrp_kernel()
+        before = schedule_search_count()
+        cached_schedule(kernel, cache=PlanCache())  # store=True -> env store
+        cached_schedule(kernel, cache=PlanCache())
+        assert schedule_search_count() == before + 1
+        snap = plan_store_snapshot()
+        assert snap["configured"] is True
+        assert snap["entries"] == 1 and snap["hits"] == 1
+
+    def test_store_false_disables_persistence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(PLAN_STORE_ENV, str(tmp_path / "unused"))
+        kernel = _mttkrp_kernel()
+        cached_schedule(kernel, cache=PlanCache(), store=False)
+        assert len(default_plan_store()) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Tolerance: every failure mode is a miss, never an exception
+# --------------------------------------------------------------------------- #
+class TestTolerance:
+    def _populated(self, tmp_path):
+        store = PlanStore(tmp_path / "store")
+        kernel = _mttkrp_kernel()
+        key = schedule_key(kernel, 2, 1.5, 5000, True)
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=False)
+        store.put(key, schedule_payload(schedule))
+        (entry,) = [
+            p for p in store.root.glob("*.json")
+            if p.name != "calibration.json"
+        ]
+        return store, kernel, key, entry
+
+    def test_version_mismatch_falls_back_to_search(self, tmp_path):
+        store, kernel, key, entry = self._populated(tmp_path)
+        doc = json.loads(entry.read_text())
+        doc["version"] = STORE_VERSION + 1
+        entry.write_text(json.dumps(doc))
+
+        assert store.get(key) is None
+        before = schedule_search_count()
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=store)
+        assert schedule is not None
+        assert schedule_search_count() == before + 1  # fell back to search
+        # ... and the fresh result overwrote the stale entry
+        assert json.loads(entry.read_text())["version"] == STORE_VERSION
+
+    def test_truncated_file_falls_back(self, tmp_path):
+        store, kernel, key, entry = self._populated(tmp_path)
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        assert store.get(key) is None
+        assert store.stats()["errors"] == 1
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=store)
+        assert schedule is not None
+
+    def test_foreign_key_behind_same_digest_is_a_miss(self, tmp_path):
+        store, kernel, key, entry = self._populated(tmp_path)
+        doc = json.loads(entry.read_text())
+        doc["key"] = canonical_key(("some", "other", "key"))
+        entry.write_text(json.dumps(doc))
+        assert store.get(key) is None
+        assert store.stats()["errors"] == 1
+
+    def test_unrebuildable_payload_is_reclassified(self, tmp_path):
+        """A valid envelope whose payload fails reconstruction => miss."""
+        store, kernel, key, entry = self._populated(tmp_path)
+        doc = json.loads(entry.read_text())
+        doc["payload"]["order"] = [["bogus", "indices"]]
+        entry.write_text(json.dumps(doc))
+        before = schedule_search_count()
+        schedule = cached_schedule(kernel, cache=PlanCache(), store=store)
+        assert schedule is not None
+        assert schedule_search_count() == before + 1
+        stats = store.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 1  # reclassified
+
+    def test_calibration_corruption_returns_none(self, tmp_path):
+        store = PlanStore(tmp_path / "store")
+        assert store.load_calibration() is None
+        assert store.save_calibration({"loop_overhead": 1e-7})
+        assert store.load_calibration() == {"loop_overhead": 1e-7}
+        (store.root / "calibration.json").write_text("{not json")
+        assert store.load_calibration() is None
+
+    def test_clear_keeps_calibration(self, tmp_path):
+        store, kernel, key, entry = self._populated(tmp_path)
+        store.save_calibration({"scalar_op": 2e-8})
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.load_calibration() == {"scalar_op": 2e-8}
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency
+# --------------------------------------------------------------------------- #
+class TestConcurrentWriters:
+    def test_racing_writers_never_produce_torn_files(self, tmp_path):
+        store = PlanStore(tmp_path / "store")
+        kernel = _mttkrp_kernel()
+        key = schedule_key(kernel, 2, 1.5, 5000, True)
+        payload = schedule_payload(
+            cached_schedule(kernel, cache=PlanCache(), store=False)
+        )
+
+        errors: list = []
+
+        def writer():
+            try:
+                for _ in range(25):
+                    store.put(key, payload)
+                    got = store.get(key)
+                    if got is not None and got != payload:
+                        errors.append("reader observed a foreign payload")
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # exactly one complete, valid document survives
+        assert len(store) == 1
+        assert store.get(key) == payload
+        assert not list(store.root.glob("*.tmp"))  # no leaked temp files
+
+
+# --------------------------------------------------------------------------- #
+# Bounded timings registry
+# --------------------------------------------------------------------------- #
+class TestBoundedTimings:
+    def test_lru_eviction_over_cap(self):
+        timings = PlanTimings(max_records=4)
+        for i in range(6):
+            timings.record(("plan", i), "lowered", 0.01)
+        assert len(timings) == 4
+        assert timings.stats()["evictions"] == 2
+        # the oldest signatures aged out, the newest survive
+        digests = {row["digest"] for row in timings.snapshot()}
+        assert key_digest(("plan", 0)) not in digests
+        assert key_digest(("plan", 5)) in digests
+
+    def test_eviction_drops_orphaned_features(self):
+        timings = PlanTimings(max_records=2)
+        timings.record(("plan", 0), "lowered", 0.01)
+        timings.record_features(("plan", 0), (1.0, 0.0, 1.0, 2.0, 0.0), 0.01)
+        timings.record(("plan", 1), "lowered", 0.01)
+        timings.record(("plan", 2), "lowered", 0.01)  # evicts plan 0
+        assert timings.features_of(("plan", 0)) is None
+        assert timings.stats()["evictions"] == 1
+
+    def test_recent_signature_survives_by_recency(self):
+        timings = PlanTimings(max_records=2)
+        timings.record(("plan", 0), "lowered", 0.01)
+        timings.record(("plan", 1), "lowered", 0.01)
+        timings.record(("plan", 0), "lowered", 0.01)  # refresh 0
+        timings.record(("plan", 2), "lowered", 0.01)  # evicts 1, not 0
+        digests = {row["digest"] for row in timings.snapshot()}
+        assert key_digest(("plan", 0)) in digests
+        assert key_digest(("plan", 1)) not in digests
+
+    def test_phase_rows_count_separately(self):
+        timings = PlanTimings(max_records=8)
+        timings.record(("plan", 0), "lowered", 0.02, phase="prepare")
+        timings.record(("plan", 0), "lowered", 0.01, phase="execute")
+        rows = timings.snapshot()
+        assert {row["phase"] for row in rows} == {"prepare", "execute"}
+        assert timings.training_rows() == []  # no features registered yet
+        timings.record_features(("plan", 0), (1.0, 0.0, 1.0, 2.0, 0.0))
+        ((vector, seconds),) = timings.training_rows()
+        assert seconds == pytest.approx(0.01)  # execute only, never prepare
