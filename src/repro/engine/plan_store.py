@@ -53,6 +53,7 @@ from repro.core.expr import SpTTNKernel
 from repro.engine.keys import _jsonable, canonical_key, key_digest
 from repro.obs.metrics import register_source
 from repro.obs.trace import span as _span
+from repro.util.faults import FaultInjected, fault_point
 
 #: Environment variable naming the default store directory (unset = no
 #: persistence).
@@ -206,8 +207,11 @@ class PlanStore:
         path = self._entry_path(key)
         with _span("store_put", "store", digest=path.stem):
             try:
+                fault_point("store.write")
                 self._write_atomic(path, document)
-            except OSError:
+            except (OSError, FaultInjected):
+                # Injected write faults take the same degrade-to-miss path
+                # as a full disk: counted, non-fatal, serving continues.
                 with self._lock:
                     self.errors += 1
                 return False

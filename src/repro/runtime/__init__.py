@@ -19,8 +19,12 @@ virtual-rank execution).
 """
 
 from repro.runtime.pool import (
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
     WORKERS_ENV,
     WorkerPool,
+    default_task_retries,
+    default_task_timeout,
     default_workers,
     drain_pools,
     parallel_map,
@@ -28,6 +32,7 @@ from repro.runtime.pool import (
     resolve_workers,
     shared_pool,
     shutdown_pool,
+    supervision_events,
 )
 from repro.runtime.reduce import tree_reduce
 from repro.runtime.shm import (
@@ -39,8 +44,12 @@ from repro.runtime.shm import (
 )
 
 __all__ = [
+    "TASK_RETRIES_ENV",
+    "TASK_TIMEOUT_ENV",
     "WORKERS_ENV",
     "WorkerPool",
+    "default_task_retries",
+    "default_task_timeout",
     "default_workers",
     "drain_pools",
     "parallel_map",
@@ -48,6 +57,7 @@ __all__ = [
     "resolve_workers",
     "shared_pool",
     "shutdown_pool",
+    "supervision_events",
     "tree_reduce",
     "DenseBroadcast",
     "SharedArrayHandle",

@@ -27,15 +27,20 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import multiprocessing.pool as mp_pool
 import os
 import pickle
+import signal
 import sys
+import threading
+import time
 import warnings
 from collections import OrderedDict
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.obs.metrics import register_source
 from repro.obs.trace import add_spans, capture_spans, span, tracing_enabled
+from repro.util.faults import fault_active, fault_point, faults_snapshot
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -65,19 +70,131 @@ class _TracedTask:
                 result = self.fn(item)
         return result, spans
 
+
+class _FaultTask:
+    """Picklable wrapper firing the ``pool.task`` fault point around a task.
+
+    Wrapped around the mapped callable only when a fault plan targets
+    ``pool.task``, so the hot path never pays the indirection.  The fault
+    fires *inside the worker process* (kill mode SIGKILLs the worker, the
+    exact failure the supervised map exists to survive); on the serial
+    fallback path the same wrapper runs in the parent, where kill mode is
+    a no-op by design.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, item):
+        fault_point("pool.task")
+        return self.fn(item)
+
+
 #: Environment variable providing the process-wide default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Per-map task timeout in seconds (unset/empty → no timeout).
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+#: How many times a failed parallel map is retried on a respawned pool
+#: before falling back serial (default 1).
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+#: Set to ``0`` to disable map supervision (plain blocking ``Pool.map``);
+#: exists so the supervision-overhead benchmark has an A/B switch.
+SUPERVISE_ENV = "REPRO_POOL_SUPERVISE"
+
+#: How often the supervised map wakes to check worker liveness.  The wait
+#: is event-based (returns the instant results land), so this only bounds
+#: crash/timeout detection latency, not per-map overhead.
+_POLL_INTERVAL_S = 0.05
 
 
 def default_workers() -> Optional[int]:
-    """Worker count requested via ``REPRO_WORKERS`` (``None`` if unset/invalid)."""
+    """Worker count requested via ``REPRO_WORKERS`` (``None`` if unset/invalid).
+
+    An unparseable value warns — silently running serial because of a typo
+    in a deployment manifest is the kind of misconfiguration that only
+    shows up as a latency mystery weeks later.
+    """
     raw = os.environ.get(WORKERS_ENV)
     if raw is None or not raw.strip():
         return None
     try:
         return int(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring invalid {WORKERS_ENV}={raw!r} (not an integer); "
+            "running serial as if it were unset",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return None
+
+
+def default_task_timeout() -> Optional[float]:
+    """Task timeout (seconds) from ``REPRO_TASK_TIMEOUT`` (``None`` = none)."""
+    raw = os.environ.get(TASK_TIMEOUT_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {TASK_TIMEOUT_ENV}={raw!r} (not a number)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return value if value > 0 else None
+
+
+def default_task_retries() -> int:
+    """Retry budget for failed parallel maps from ``REPRO_TASK_RETRIES``."""
+    raw = os.environ.get(TASK_RETRIES_ENV)
+    if raw is None or not raw.strip():
+        return 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        warnings.warn(
+            f"ignoring invalid {TASK_RETRIES_ENV}={raw!r} (not an integer); "
+            "using the default of 1",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+
+
+def default_supervise() -> bool:
+    """Whether supervised maps are enabled (``REPRO_POOL_SUPERVISE``)."""
+    raw = os.environ.get(SUPERVISE_ENV)
+    if raw is None or not raw.strip():
+        return True
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+# Process-wide supervision event totals (in addition to the per-pool
+# counters): the serving layer samples deltas around a batch execution to
+# attribute worker crashes to the plan signature that caused them, and the
+# daemon's health endpoint reports the last-crash timestamp.
+_EVENTS = {
+    "crashes": 0,
+    "timeouts": 0,
+    "respawns": 0,
+    "retries": 0,
+    "last_crash_unix": None,
+}
+
+
+def supervision_events() -> dict:
+    """Process-wide supervision totals (crashes/timeouts/respawns/retries)."""
+    return dict(_EVENTS)
+
+
+def _record_event(kind: str) -> None:
+    _EVENTS[kind] += 1
+    if kind in ("crashes", "timeouts"):
+        _EVENTS["last_crash_unix"] = time.time()
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -95,6 +212,31 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     if workers < 0:
         return max(1, os.cpu_count() or 1)
     return int(workers)
+
+
+def _worker_init() -> None:
+    """Reset signal plumbing inherited from the forking parent.
+
+    A worker forked from a process running an asyncio event loop (the
+    serving daemon) inherits the loop's no-op SIGTERM/SIGINT handlers
+    *and* its signal wakeup pipe.  Left in place, ``Pool.terminate()``'s
+    SIGTERM would (a) never kill the worker — the no-op handler swallows
+    it, hanging the subsequent ``join()`` — and (b) write the signal
+    number into the wakeup pipe *shared with the parent*, which the
+    parent's event loop then reads as its own SIGTERM and begins a
+    spurious daemon shutdown.  Detaching the wakeup fd and restoring the
+    default SIGTERM disposition severs both paths; SIGINT is ignored so
+    a terminal Ctrl+C is handled once, by the parent's drain.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    try:
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
 
 
 def _pool_context():
@@ -121,14 +263,37 @@ class WorkerPool:
     pay the process-start cost once.
     """
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        task_timeout: Optional[float] = None,
+        task_retries: Optional[int] = None,
+        supervise: Optional[bool] = None,
+    ) -> None:
         self.workers = resolve_workers(workers)
         self._pool = None
+        #: Supervision knobs (``None`` defers to the REPRO_* environment):
+        #: per-map task timeout in seconds, how many times a crashed or
+        #: timed-out map is retried on a respawned pool before the serial
+        #: fallback, and whether supervision runs at all.
+        self.task_timeout = (
+            default_task_timeout() if task_timeout is None else task_timeout
+        )
+        self.task_retries = (
+            default_task_retries() if task_retries is None else max(0, task_retries)
+        )
+        self.supervise = default_supervise() if supervise is None else supervise
         #: Lifetime counters: total map() calls, tasks mapped, and how many
         #: of those calls ran (or re-ran) on the serial fallback path.
         self.maps = 0
         self.tasks = 0
         self.serial_maps = 0
+        #: Supervision counters: worker deaths observed mid-map, maps that
+        #: hit the task timeout, pool respawns, and map retries.
+        self.crashes = 0
+        self.timeouts = 0
+        self.respawns = 0
+        self.retries = 0
 
     @property
     def is_running(self) -> bool:
@@ -137,7 +302,9 @@ class WorkerPool:
 
     def _ensure_pool(self):
         if self._pool is None:
-            self._pool = _pool_context().Pool(processes=self.workers)
+            self._pool = _pool_context().Pool(
+                processes=self.workers, initializer=_worker_init
+            )
         return self._pool
 
     def map(
@@ -188,25 +355,161 @@ class WorkerPool:
             chunksize = max(
                 1, (len(items) + 4 * self.workers - 1) // (4 * self.workers)
             )
-        try:
-            return self._ensure_pool().map(fn, items, chunksize=chunksize)
-        except (OSError, pickle.PicklingError, EOFError) as exc:
-            # Results stay correct, but timing-sensitive callers
-            # (measured_scaling, benchmarks) must not mistake this serial
-            # re-run for a parallel measurement — warn loudly.
-            warnings.warn(
-                f"worker pool failed mid-map ({exc!r}); re-ran "
-                f"{len(items)} task(s) serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+        if fault_active("pool.task"):
+            fn = _FaultTask(fn)
+        if not self.supervise:
+            try:
+                return self._ensure_pool().map(fn, items, chunksize=chunksize)
+            except (OSError, pickle.PicklingError, EOFError) as exc:
+                return self._serial_fallback(fn, items, repr(exc))
+        return self._map_supervised(fn, items, chunksize)
+
+    def _map_supervised(
+        self,
+        fn: Callable[[T], R],
+        items: List[T],
+        chunksize: int,
+    ) -> List[R]:
+        """Parallel map that survives worker death and stuck tasks.
+
+        A plain ``Pool.map`` hangs forever when a worker is SIGKILLed
+        mid-task: the pool's maintenance thread respawns the worker, but
+        the chunk the dead worker held never produces a result.  This
+        path dispatches with ``map_async`` and polls: the instant a
+        worker pid disappears (or exits) or the task timeout elapses, the
+        wreckage is terminated, the pool respawned, and the whole map
+        retried — at most :attr:`task_retries` times, then the serial
+        fallback guarantees an answer.  Retries re-run *every* item, so
+        order-preserving determinism is unaffected by partial progress.
+        """
+        failure = "unknown"
+        for attempt in range(self.task_retries + 1):
+            if attempt:
+                self.retries += 1
+                _record_event("retries")
+                self.respawns += 1
+                _record_event("respawns")
+            try:
+                pool = self._ensure_pool()
+                procs = getattr(pool, "_pool", None) or []
+                pids = {proc.pid for proc in procs}
+                result = pool.map_async(fn, items, chunksize=chunksize)
+                failure = self._await_supervised(result, pool, pids)
+                if failure is None:
+                    return result.get(0)
+            except (OSError, pickle.PicklingError, EOFError) as exc:
+                failure = f"pool failure: {exc!r}"
+            # Crash, timeout or transport failure: kill the wreckage so a
+            # later attempt (or the next map) starts from a clean fork.
             self.close()
-            self.serial_maps += 1
-            return [fn(x) for x in items]
+        return self._serial_fallback(fn, items, failure)
+
+    def _await_supervised(self, result, pool, pids) -> Optional[str]:
+        """Wait on an async map; ``None`` on success, else a failure reason."""
+        deadline = (
+            time.monotonic() + self.task_timeout
+            if self.task_timeout is not None
+            else None
+        )
+        while True:
+            result.wait(_POLL_INTERVAL_S)
+            if result.ready():
+                return None
+            procs = getattr(pool, "_pool", None) or []
+            if any(proc.exitcode is not None for proc in procs) or {
+                proc.pid for proc in procs
+            } != pids:
+                self.crashes += 1
+                _record_event("crashes")
+                return "worker died mid-map"
+            if deadline is not None and time.monotonic() >= deadline:
+                self.timeouts += 1
+                _record_event("timeouts")
+                return f"task timeout after {self.task_timeout:g}s"
+
+    def _serial_fallback(self, fn, items, reason: str) -> List[R]:
+        # Results stay correct, but timing-sensitive callers
+        # (measured_scaling, benchmarks) must not mistake this serial
+        # re-run for a parallel measurement — warn loudly.
+        warnings.warn(
+            f"worker pool failed mid-map ({reason}); re-ran "
+            f"{len(items)} task(s) serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        self.close()
+        self.serial_maps += 1
+        return [fn(x) for x in items]
+
+    def _reap_for_teardown(self) -> None:
+        """Kill and reap every worker, then free any lock one died holding.
+
+        A worker that dies to an outside signal (a process-group SIGTERM
+        aimed at the daemon, the OOM killer) while idle-blocked in the
+        task queue's ``get()`` takes the queue's reader lock to its grave;
+        ``Pool._terminate_pool`` — run by ``terminate()`` and again by the
+        pool's GC finalizer — then deadlocks acquiring that lock in
+        ``_help_stuff_finish`` (CPython bpo-22393: a POSIX semaphore is
+        never released when its holder dies).  The only race-free recipe
+        is to make every worker *certainly* dead first — an exitcode
+        snapshot can miss workers whose fatal signal is delivered a
+        millisecond later — and only then post back whatever they
+        orphaned.  Live workers release the locks themselves via the task
+        handler's sentinels, so after this runs the stdlib teardown cannot
+        block.
+
+        The worker-maintenance thread is stopped *first*: it respawns dead
+        workers behind our back, and a worker forked an instant ago can
+        still carry the forking parent's signal state (the pool
+        initializer has not run yet), so it must be ended with the
+        uncatchable SIGKILL below rather than the single SIGTERM the
+        stdlib sweep would send it.
+        """
+        handler = getattr(self._pool, "_worker_handler", None)
+        if handler is not None:
+            handler._state = mp_pool.TERMINATE
+            notifier = getattr(self._pool, "_change_notifier", None)
+            if notifier is not None:
+                try:
+                    notifier.put(None)
+                except Exception:  # pragma: no cover - closed queue
+                    pass
+            handler.join(5.0)
+        procs = list(getattr(self._pool, "_pool", None) or [])
+        for p in procs:
+            try:
+                p.kill()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+        for p in procs:
+            try:
+                p.join(5.0)
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+        for lock in (
+            getattr(getattr(self._pool, "_inqueue", None), "_rlock", None),
+            getattr(getattr(self._pool, "_outqueue", None), "_wlock", None),
+        ):
+            if lock is None:  # pragma: no cover - exotic queue shapes
+                continue
+            if lock.acquire(block=False):
+                lock.release()  # was free: leave it free
+            else:
+                try:
+                    lock.release()  # orphaned by a dead holder: post it back
+                except ValueError:  # pragma: no cover - raced to free
+                    pass
 
     def close(self) -> None:
-        """Terminate the worker processes (a later map restarts them)."""
+        """Terminate the worker processes (a later map restarts them).
+
+        The workers are killed and reaped up front: ``terminate()`` ends
+        them mid-task anyway, and starting from certainly-dead workers is
+        what makes the stdlib teardown deadlock-proof when an external
+        signal already felled some of them (see :meth:`_reap_for_teardown`).
+        """
         if self._pool is not None:
+            self._reap_for_teardown()
             self._pool.terminate()
             self._pool.join()
             self._pool = None
@@ -218,11 +521,30 @@ class WorkerPool:
         closed (no new tasks) and *joined*, so tasks already dispatched run
         to completion instead of being killed mid-map.  Used by the serving
         daemon's shutdown path; a later :meth:`map` restarts the workers.
+
+        Workers may be dying to the very signal that triggered the drain
+        (a process-group SIGTERM hits the daemon and its workers at once),
+        so the graceful join runs under a watchdog: if it wedges on a lock
+        a dead worker orphaned, the remaining workers are forcibly reaped
+        and the join retried.  After a successful join every worker has
+        exited, so the pool's GC finalizer — which could otherwise hang on
+        the same orphaned lock (CPython bpo-22393) — is cancelled; it has
+        nothing left to do.
         """
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
+        if self._pool is None:
+            return
+        pool = self._pool
+        pool.close()
+        joiner = threading.Thread(target=pool.join, daemon=True)
+        joiner.start()
+        joiner.join(10.0)
+        if joiner.is_alive():  # pragma: no cover - timing-dependent rescue
+            self._reap_for_teardown()
+            joiner.join(5.0)
+        finalizer = getattr(pool, "_terminate", None)
+        if not joiner.is_alive() and finalizer is not None:
+            finalizer.cancel()
+        self._pool = None
 
     def stats(self) -> dict:
         """Lifetime counters plus current worker state (stats endpoints)."""
@@ -232,6 +554,13 @@ class WorkerPool:
             "maps": self.maps,
             "tasks": self.tasks,
             "serial_maps": self.serial_maps,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+            "retries": self.retries,
+            "supervised": self.supervise,
+            "task_timeout": self.task_timeout,
+            "task_retries": self.task_retries,
         }
 
     def __enter__(self) -> "WorkerPool":
@@ -278,7 +607,9 @@ def shared_pool(workers: Optional[int] = None) -> WorkerPool:
         _SHARED_POOLS[n] = pool
         if len(_SHARED_POOLS) > _MAX_SHARED_POOLS:
             _, evicted = _SHARED_POOLS.popitem(last=False)
-            evicted.close()
+            # drain, not close: another thread may be mid-map on the
+            # evicted pool, and terminate would kill its tasks under it.
+            evicted.drain()
     _SHARED_POOLS.move_to_end(n)
     return pool
 
@@ -311,6 +642,7 @@ def pool_stats() -> dict:
     return {
         "pools": {n: pool.stats() for n, pool in _SHARED_POOLS.items()},
         "default_workers": resolve_workers(None),
+        "supervision": supervision_events(),
     }
 
 
@@ -318,7 +650,10 @@ atexit.register(shutdown_pool)
 
 # The metrics registry embeds the pool counters in its snapshots;
 # registering here (the producer) keeps repro.obs runtime-import free.
+# The fault-injection plan rides along for the same reason: registering
+# it from repro.util.faults would cycle util <-> obs imports.
 register_source("pool", pool_stats)
+register_source("faults", faults_snapshot)
 
 
 def parallel_map(
@@ -340,3 +675,4 @@ def parallel_map(
     if n_workers <= 1:
         return [fn(x) for x in items]
     return shared_pool(n_workers).map(fn, items, chunksize=chunksize)
+

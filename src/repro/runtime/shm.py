@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.obs.trace import span as _span
+from repro.util.faults import fault_point
 
 try:
     from multiprocessing import shared_memory as _shm
@@ -93,6 +94,7 @@ class DenseBroadcast:
 def publish(arrays: Mapping[str, np.ndarray]) -> DenseBroadcast:
     """Copy *arrays* into shared memory once and return their handles."""
     with _span("publish", "shm", arrays=len(arrays)):
+        fault_point("shm.publish")
         broadcast = _publish(arrays)
     return broadcast
 

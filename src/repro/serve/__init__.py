@@ -38,8 +38,12 @@ from repro.serve.scenarios import MIXES, scenario_mix
 from repro.serve.service import (
     AdmissionError,
     ContractionService,
+    DeadlineError,
+    QuarantinedError,
+    RequestFailed,
     ServeFuture,
     ServiceStats,
+    default_quarantine_ttl,
     execute_naive,
     execute_sequential,
 )
@@ -55,8 +59,12 @@ __all__ = [
     "scenario_mix",
     "AdmissionError",
     "ContractionService",
+    "DeadlineError",
+    "QuarantinedError",
+    "RequestFailed",
     "ServeFuture",
     "ServiceStats",
+    "default_quarantine_ttl",
     "execute_naive",
     "execute_sequential",
     "DaemonHandle",

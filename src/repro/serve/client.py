@@ -118,7 +118,15 @@ class ServeClient:
         self._sock.sendall(protocol.dumps(message))
 
     def _read_message(self) -> Dict[str, Any]:
-        line = self._rfile.readline()
+        try:
+            line = self._rfile.readline()
+        except socket.timeout:
+            host, port = self.address
+            raise TimeoutError(
+                f"no reply from daemon at {host}:{port} within "
+                f"{self._timeout:g}s; the connection may be stale — "
+                "reconnect with a fresh ServeClient"
+            ) from None
         if not line:
             raise ConnectionError("daemon closed the connection")
         return protocol.loads(line)
@@ -181,6 +189,18 @@ class ServeClient:
         self._send(message)
         reply = protocol.raise_if_error(self._reply_for(msg_id))
         return reply.get("metrics", {})
+
+    def health(self) -> Dict[str, Any]:
+        """Fetch the daemon's lightweight health document.
+
+        Cheaper than :meth:`stats`: no cache or pool introspection, just
+        readiness (``status`` of ``ready``/``degraded``/``draining``),
+        load, and last-crash supervision info.
+        """
+        msg_id = self._fresh_id()
+        self._send({"op": "health", "id": msg_id})
+        reply = protocol.raise_if_error(self._reply_for(msg_id))
+        return reply.get("health", {})
 
     def ping(self) -> bool:
         """Round-trip liveness probe."""

@@ -70,10 +70,17 @@ from repro.obs.trace import (
     span as _span,
     tracing_enabled,
 )
-from repro.runtime import drain_pools, pool_stats
+from repro.runtime import drain_pools, pool_stats, supervision_events
 from repro.serve import protocol
 from repro.serve.request import ContractionRequest
-from repro.serve.service import AdmissionError, ContractionService, ServeFuture
+from repro.serve.service import (
+    AdmissionError,
+    ContractionService,
+    DeadlineError,
+    QuarantinedError,
+    ServeFuture,
+)
+from repro.util.faults import faults_snapshot
 
 #: Maximum NDJSON line length accepted from a client (64 MiB) — bounds the
 #: per-connection read buffer; operands above this must be split or served
@@ -83,18 +90,41 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 #: Default TCP port of ``repro serve --daemon``.
 DEFAULT_PORT = 7421
 
+#: Environment variable: seconds a connection may sit idle (no inbound
+#: traffic, nothing queued or in flight) before the daemon closes it.
+IDLE_TIMEOUT_ENV = "REPRO_IDLE_TIMEOUT"
+
+
+def default_idle_timeout() -> Optional[float]:
+    """Idle-connection timeout from ``REPRO_IDLE_TIMEOUT`` (``None`` = off)."""
+    raw = os.environ.get(IDLE_TIMEOUT_ENV)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
 
 class _QueuedItem:
     """One admitted submit operation waiting in a connection's backlog."""
 
-    __slots__ = ("client", "msg_id", "request")
+    __slots__ = ("client", "msg_id", "request", "expires_at")
 
     def __init__(
-        self, client: "_Client", msg_id: Any, request: ContractionRequest
+        self,
+        client: "_Client",
+        msg_id: Any,
+        request: ContractionRequest,
+        expires_at: Optional[float] = None,
     ) -> None:
         self.client = client
         self.msg_id = msg_id
         self.request = request
+        #: absolute ``time.monotonic()`` deadline stamped at receipt, so
+        #: time spent in the backlog counts against ``deadline_ms``.
+        self.expires_at = expires_at
 
 
 class _Client:
@@ -137,6 +167,14 @@ class DaemonStats:
     replied: int = 0
     protocol_errors: int = 0
     cycles: int = 0
+    #: requests answered with a ``timeout`` error (deadline expirations).
+    expired: int = 0
+    #: requests answered with a ``quarantined`` error (poison signatures).
+    quarantined: int = 0
+    #: idle connections closed by the read timeout.
+    idle_closed: int = 0
+    #: service flushes that raised (futures still resolve; daemon survives).
+    flush_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view for the ``stats`` reply."""
@@ -149,6 +187,10 @@ class DaemonStats:
             "replied": self.replied,
             "protocol_errors": self.protocol_errors,
             "cycles": self.cycles,
+            "expired": self.expired,
+            "quarantined": self.quarantined,
+            "idle_closed": self.idle_closed,
+            "flush_errors": self.flush_errors,
         }
 
 
@@ -175,6 +217,12 @@ class ServeDaemon:
         tracing is enabled for the daemon's lifetime and a Chrome-trace
         JSON file (``trace-daemon-<port>.json``, Perfetto-loadable) is
         written into this directory during shutdown.
+    idle_timeout:
+        Seconds a connection may sit idle — no inbound bytes and nothing
+        queued or in flight — before the daemon closes it, so half-dead
+        clients cannot pin connection state forever.  ``None`` defers to
+        ``REPRO_IDLE_TIMEOUT`` (default: no timeout); connections with
+        work in flight are never closed by this.
     """
 
     def __init__(
@@ -187,11 +235,15 @@ class ServeDaemon:
         max_pending: int = 4096,
         client_quota: int = 64,
         trace_dir: Optional[Union[str, Path]] = None,
+        idle_timeout: Optional[float] = None,
     ) -> None:
         if client_quota < 1:
             raise ValueError("client_quota must be >= 1")
         self.host = host
         self.port = port
+        self.idle_timeout = (
+            default_idle_timeout() if idle_timeout is None else idle_timeout
+        )
         if trace_dir is None:
             trace_dir = os.environ.get(TRACE_DIR_ENV) or None
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
@@ -306,7 +358,24 @@ class ServeDaemon:
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    if self.idle_timeout is not None:
+                        try:
+                            line = await asyncio.wait_for(
+                                reader.readline(), self.idle_timeout
+                            )
+                        except asyncio.TimeoutError:
+                            if (
+                                client.backlog
+                                or client.inflight
+                                or client.pending_ids
+                            ):
+                                # not idle — results are still owed; the
+                                # timeout only reaps silent, empty links
+                                continue
+                            self.stats.idle_closed += 1
+                            break
+                    else:
+                        line = await reader.readline()
                 except (
                     asyncio.LimitOverrunError,
                     ValueError,
@@ -346,6 +415,8 @@ class ServeDaemon:
                 else:
                     payload = metrics_snapshot()
                 client.send(protocol.metrics_reply(msg_id, payload))
+            elif op == "health":
+                client.send(protocol.health_reply(msg_id, self.health()))
             elif op == "ping":
                 client.send(protocol.pong_reply(msg_id))
             elif op == "shutdown":
@@ -382,6 +453,22 @@ class ServeDaemon:
             )
             return
         request = protocol.decode_request(message.get("request"))
+        expires_at = None
+        if request.deadline_ms is not None:
+            expires_at = time.monotonic() + request.deadline_ms / 1000.0
+            if request.deadline_ms <= 0:
+                # already expired at receipt: shed before it costs a queue
+                # slot or a dispatch cycle
+                self.stats.expired += 1
+                client.send(
+                    protocol.error_reply(
+                        msg_id,
+                        protocol.ERROR_TIMEOUT,
+                        f"deadline ({request.deadline_ms}ms) expired "
+                        f"before admission",
+                    )
+                )
+                return
         try:
             self._admit(request)
         except AdmissionError as exc:
@@ -391,7 +478,7 @@ class ServeDaemon:
             )
             return
         client.pending_ids.add(msg_id)
-        client.backlog.append(_QueuedItem(client, msg_id, request))
+        client.backlog.append(_QueuedItem(client, msg_id, request, expires_at))
         self.stats.admitted += 1
         assert self._work is not None
         self._work.set()
@@ -513,8 +600,45 @@ class ServeDaemon:
         assert self._loop is not None
         submitted = False
         for item in batch:
+            if (
+                item.expires_at is not None
+                and time.monotonic() >= item.expires_at
+            ):
+                # the deadline ran out while the request sat in the
+                # daemon's backlog: shed it without touching the service
+                self.stats.expired += 1
+                self._finish_item(
+                    item,
+                    protocol.error_reply(
+                        item.msg_id,
+                        protocol.ERROR_TIMEOUT,
+                        f"deadline ({item.request.deadline_ms}ms) expired "
+                        f"while queued",
+                    ),
+                )
+                continue
             try:
-                future = self.service.submit(item.request)
+                future = self.service.submit(
+                    item.request, expires_at=item.expires_at
+                )
+            except QuarantinedError as exc:
+                self.stats.quarantined += 1
+                self._finish_item(
+                    item,
+                    protocol.error_reply(
+                        item.msg_id, protocol.ERROR_QUARANTINED, str(exc)
+                    ),
+                )
+                continue
+            except DeadlineError as exc:
+                self.stats.expired += 1
+                self._finish_item(
+                    item,
+                    protocol.error_reply(
+                        item.msg_id, protocol.ERROR_TIMEOUT, str(exc)
+                    ),
+                )
+                continue
             except AdmissionError as exc:
                 # unreachable through the daemon's own accounting unless the
                 # service is shared with in-process callers; keep the
@@ -533,7 +657,13 @@ class ServeDaemon:
             # flush in a worker thread: futures resolve group by group and
             # their callbacks stream replies back through the loop while
             # later groups are still executing
-            await self._loop.run_in_executor(None, self.service.flush)
+            try:
+                await self._loop.run_in_executor(None, self.service.flush)
+            except Exception:
+                # a flush abort already resolved every future with a
+                # structured error (the service's BaseException handler);
+                # the daemon must outlive it — record and keep serving
+                self.stats.flush_errors += 1
 
     def _make_streamer(self, item: _QueuedItem):
         """Done-callback delivering one resolved future to its connection."""
@@ -545,9 +675,16 @@ class ServeDaemon:
             try:
                 reply = protocol.result_reply(item.msg_id, future.result())
             except RuntimeError as exc:
-                reply = protocol.error_reply(
-                    item.msg_id, protocol.ERROR_EXECUTION, str(exc)
+                # RequestFailed carries a code ("timeout" for deadline
+                # expirations); anything else is an execution failure.
+                # (service.stats.expired counts these; daemon.expired only
+                # counts daemon-side sheds, keeping it loop-thread-owned.)
+                code = (
+                    protocol.ERROR_TIMEOUT
+                    if getattr(exc, "code", None) == "timeout"
+                    else protocol.ERROR_EXECUTION
                 )
+                reply = protocol.error_reply(item.msg_id, code, str(exc))
             wire_encode = time.perf_counter() - encode_t0
             observe("serve.stage.wire_encode", wire_encode)
             if future.timings:
@@ -572,6 +709,38 @@ class ServeDaemon:
     # ------------------------------------------------------------------ #
     # Introspection and teardown
     # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        """Lightweight readiness document (the ``health`` operation).
+
+        Unlike :meth:`snapshot` this touches no caches or metric sources —
+        it is cheap enough for tight probe loops.  ``status`` is
+        ``"ready"``, ``"draining"`` (shutdown in progress) or
+        ``"degraded"`` (at least one plan signature is quarantined);
+        supervision totals and the last worker-crash timestamp ride along
+        so probes can alert on crash churn without pulling full stats.
+        """
+        events = supervision_events()
+        quarantine = self.service.quarantine_snapshot()
+        if self._draining:
+            status = "draining"
+        elif quarantine["entries"]:
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "ready": status == "ready",
+            "version": protocol.PROTOCOL_VERSION,
+            "pending": self._pending_total(),
+            "active_connections": self.stats.active_connections,
+            "quarantined_signatures": len(quarantine["entries"]),
+            "expired": self.stats.expired + self.service.stats.expired,
+            "crashes": events["crashes"],
+            "worker_timeouts": events["timeouts"],
+            "respawns": events["respawns"],
+            "last_crash_unix": events["last_crash_unix"],
+        }
+
     def snapshot(self) -> Dict[str, Any]:
         """One coherent stats document: daemon, service, caches, pool.
 
@@ -598,6 +767,8 @@ class ServeDaemon:
             "plan_timings_stats": plan_timings_stats(),
             "plan_store": plan_store_snapshot(),
             "calibration": calibration_state(),
+            "quarantine": self.service.quarantine_snapshot(),
+            "faults": faults_snapshot(),
         }
 
     async def _close_everything(self) -> None:
@@ -695,9 +866,11 @@ def start_daemon_thread(
 
 __all__ = [
     "DEFAULT_PORT",
+    "IDLE_TIMEOUT_ENV",
     "MAX_LINE_BYTES",
     "DaemonHandle",
     "DaemonStats",
     "ServeDaemon",
+    "default_idle_timeout",
     "start_daemon_thread",
 ]

@@ -2,7 +2,8 @@
 
 Every message — in either direction — is one JSON object encoded as UTF-8
 on one ``\\n``-terminated line (NDJSON).  Clients send *operations*
-(``submit``, ``stats``, ``metrics``, ``ping``, ``shutdown``) carrying a caller-chosen
+(``submit``, ``stats``, ``metrics``, ``health``, ``ping``, ``shutdown``)
+carrying a caller-chosen
 ``id``; the daemon answers each operation with exactly one reply echoing
 that ``id``, but replies are **streamed** in completion order, not request
 order, so a client must demultiplex by ``id``.
@@ -43,13 +44,15 @@ from repro.sptensor.dense import DenseTensor
 PROTOCOL_VERSION = 1
 
 #: Client operations the daemon understands.
-OPS = ("submit", "stats", "metrics", "ping", "shutdown")
+OPS = ("submit", "stats", "metrics", "health", "ping", "shutdown")
 
 #: Structured error codes used in error replies.
 ERROR_PROTOCOL = "protocol"      # malformed JSON / unknown op / bad schema
 ERROR_ADMISSION = "admission"    # backpressure or invalid request spec
 ERROR_EXECUTION = "execution"    # the contraction itself failed
 ERROR_SHUTDOWN = "shutdown"      # daemon is draining; no new work accepted
+ERROR_TIMEOUT = "timeout"        # the request's deadline_ms expired
+ERROR_QUARANTINED = "quarantined"  # plan signature quarantined (poison)
 
 
 class ProtocolError(ValueError):
@@ -155,6 +158,8 @@ def encode_request(request: ContractionRequest) -> Dict[str, Any]:
         encoded["names"] = list(request.names)
     if request.engine is not None:
         encoded["engine"] = request.engine
+    if request.deadline_ms is not None:
+        encoded["deadline_ms"] = float(request.deadline_ms)
     return encoded
 
 
@@ -179,12 +184,20 @@ def decode_request(obj: Any) -> ContractionRequest:
     kind = obj.get("kind", "spec")
     if not isinstance(kind, str):
         raise ProtocolError("request.kind must be a string")
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise ProtocolError("request.deadline_ms must be a number")
+        deadline_ms = float(deadline_ms)
     return ContractionRequest(
         spec=spec,
         operands=tuple(decode_tensor(op) for op in operands),
         names=tuple(names) if names is not None else None,
         engine=engine,
         kind=kind,
+        deadline_ms=deadline_ms,
     )
 
 
@@ -232,6 +245,11 @@ def metrics_reply(msg_id: Any, payload: Union[Dict[str, Any], str]) -> Dict[str,
     return {"id": msg_id, "ok": True, "metrics": payload}
 
 
+def health_reply(msg_id: Any, health: Dict[str, Any]) -> Dict[str, Any]:
+    """Reply to a ``health`` operation (lightweight liveness/readiness)."""
+    return {"id": msg_id, "ok": True, "health": health}
+
+
 def pong_reply(msg_id: Any) -> Dict[str, Any]:
     """Reply to a ``ping`` operation."""
     return {"id": msg_id, "ok": True, "pong": True, "version": PROTOCOL_VERSION}
@@ -267,6 +285,8 @@ __all__ = [
     "ERROR_ADMISSION",
     "ERROR_EXECUTION",
     "ERROR_SHUTDOWN",
+    "ERROR_TIMEOUT",
+    "ERROR_QUARANTINED",
     "ProtocolError",
     "ServeError",
     "encode_array",
@@ -281,6 +301,7 @@ __all__ = [
     "error_reply",
     "stats_reply",
     "metrics_reply",
+    "health_reply",
     "pong_reply",
     "shutdown_reply",
     "raise_if_error",

@@ -53,6 +53,12 @@ class ContractionRequest:
     kind:
         Label of the kernel family ("mttkrp", "ttmc", "tttp", "tttc",
         "spec", ...); informational — used by stats and the load driver.
+    deadline_ms:
+        Optional latency budget in milliseconds.  The clock starts when
+        the request is admitted (or, through the daemon, when it is
+        received), covers queue wait and execution, and an expiration
+        resolves the future with a ``timeout``-coded
+        :class:`~repro.serve.service.RequestFailed` instead of a result.
     """
 
     spec: str
@@ -60,6 +66,7 @@ class ContractionRequest:
     names: Optional[Tuple[str, ...]] = None
     engine: Optional[str] = None
     kind: str = "spec"
+    deadline_ms: Optional[float] = None
     _built: Optional[Tuple[SpTTNKernel, Dict[str, TensorLike]]] = field(
         default=None, repr=False
     )
@@ -81,9 +88,14 @@ def _named(
     spec: str,
     operands: Sequence[TensorLike],
     engine: Optional[str],
+    deadline_ms: Optional[float] = None,
 ) -> ContractionRequest:
     return ContractionRequest(
-        spec=spec, operands=tuple(operands), engine=engine, kind=kind
+        spec=spec,
+        operands=tuple(operands),
+        engine=engine,
+        kind=kind,
+        deadline_ms=deadline_ms,
     )
 
 

@@ -43,6 +43,8 @@ eviction/bytes counters per cache.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -68,10 +70,17 @@ from repro.engine.plan_cache import (
 from repro.core.scheduler import SpTTNScheduler
 from repro.obs.metrics import inc_counter, observe
 from repro.obs.trace import span as _span
-from repro.runtime import attach, parallel_map, publish, resolve_workers
+from repro.runtime import (
+    attach,
+    parallel_map,
+    publish,
+    resolve_workers,
+    supervision_events,
+)
 from repro.serve.request import ContractionRequest
 from repro.sptensor.coo import COOTensor
 from repro.sptensor.dense import DenseTensor
+from repro.util.faults import fault_point
 from repro.util.validation import require
 
 Output = Union[np.ndarray, COOTensor]
@@ -94,11 +103,56 @@ class AdmissionError(RuntimeError):
     """A request was refused at submission (full queue or invalid spec)."""
 
 
+class DeadlineError(RuntimeError):
+    """A request's deadline had already expired when it was submitted."""
+
+
+class QuarantinedError(RuntimeError):
+    """A request matches a quarantined plan signature and fails fast."""
+
+
+class RequestFailed(RuntimeError):
+    """A submitted request resolved with an error.
+
+    :attr:`code` classifies the failure — ``"execution"`` for ordinary
+    per-request errors, ``"timeout"`` for deadline expirations — so
+    callers (the daemon's reply streamer) can map it to a structured
+    wire error without parsing the message.
+    """
+
+    def __init__(self, message: str, code: str = "execution") -> None:
+        super().__init__(message)
+        self.code = code
+
+
 @dataclass
 class _RequestError:
-    """Picklable marker carrying one request's execution failure."""
+    """Picklable marker carrying one request's execution failure.
+
+    ``code`` mirrors :attr:`RequestFailed.code` (``"execution"`` or
+    ``"timeout"``).
+    """
 
     message: str
+    code: str = "execution"
+
+
+#: Environment variable: how long (seconds) a poison signature stays
+#: quarantined.  ``0`` disables quarantining entirely.
+QUARANTINE_TTL_ENV = "REPRO_QUARANTINE_TTL"
+#: Worker-crash strikes against one signature before it is quarantined.
+QUARANTINE_STRIKES = 2
+
+
+def default_quarantine_ttl() -> float:
+    """Quarantine TTL in seconds from ``REPRO_QUARANTINE_TTL`` (default 30)."""
+    raw = os.environ.get(QUARANTINE_TTL_ENV)
+    if raw is None or not raw.strip():
+        return 30.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 30.0
 
 
 @dataclass
@@ -199,14 +253,19 @@ class ServeFuture:
             self._invoke(fn)
 
     def result(self) -> Output:
-        """Flush the service if needed and return (or raise) this result."""
+        """Flush the service if needed and return (or raise) this result.
+
+        Failures raise :class:`RequestFailed` (a ``RuntimeError``) whose
+        ``code`` distinguishes execution errors from deadline timeouts.
+        """
         if not self._done:
             self._service.flush()
         assert self._done, "flush() must resolve every pending future"
         if isinstance(self._value, _RequestError):
-            raise RuntimeError(
+            raise RequestFailed(
                 f"request {self.request.kind!r} ({self.request.spec}) failed: "
-                f"{self._value.message}"
+                f"{self._value.message}",
+                code=self._value.code,
             )
         return self._value  # type: ignore[return-value]
 
@@ -226,6 +285,12 @@ class ServiceStats:
     amortized: int = 0
     #: bytes of dense operand data placed in shared memory by batch dispatch.
     shared_bytes: int = 0
+    #: requests resolved (or shed) as deadline expirations.
+    expired: int = 0
+    #: requests refused fast because their signature was quarantined.
+    quarantined: int = 0
+    #: signatures placed in quarantine over the service lifetime.
+    quarantines: int = 0
     by_kind: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
@@ -239,6 +304,9 @@ class ServiceStats:
             "batches": self.batches,
             "amortized": self.amortized,
             "shared_bytes": self.shared_bytes,
+            "expired": self.expired,
+            "quarantined": self.quarantined,
+            "quarantines": self.quarantines,
             "by_kind": dict(self.by_kind),
         }
 
@@ -251,9 +319,11 @@ class _Pending:
         "kernel",
         "mapping",
         "signature",
+        "digest",
         "engine",
         "future",
         "submitted_at",
+        "expires_at",
     )
 
     def __init__(
@@ -262,16 +332,20 @@ class _Pending:
         kernel: SpTTNKernel,
         mapping: Dict[str, TensorLike],
         signature: Tuple,
+        digest: str,
         engine: str,
         future: ServeFuture,
+        expires_at: Optional[float],
     ) -> None:
         self.request = request
         self.kernel = kernel
         self.mapping = mapping
         self.signature = signature
+        self.digest = digest
         self.engine = engine
         self.future = future
         self.submitted_at = time.perf_counter()
+        self.expires_at = expires_at
 
 
 @dataclass
@@ -292,8 +366,9 @@ class _BatchTask:
     ``"__shared__"`` map of shm handles for broadcast dense operands
     (resolved with the worker-side attachment cache of
     :mod:`repro.runtime.shm`), and :class:`_SharedSparse` references for
-    broadcast sparse operands (rebuilt once per worker per broadcast).  The executor is resolved through the
-    process-wide :func:`~repro.engine.plan_cache.cached_executor`, so each
+    broadcast sparse operands (rebuilt once per worker per broadcast).
+    The executor is resolved through the process-wide
+    :func:`~repro.engine.plan_cache.cached_executor`, so each
     worker compiles the batch's plan once no matter how many requests it
     serves.
     """
@@ -316,6 +391,7 @@ class _BatchTask:
                 _resolve_sparse(value) if isinstance(value, _SharedSparse) else value
             )
         try:
+            fault_point("serve.execute")
             executor = cached_executor(
                 self.kernel, self.loop_nest, engine=self.engine
             )
@@ -340,6 +416,12 @@ class ContractionService:
     max_pending:
         Queue bound; :meth:`submit` raises :class:`AdmissionError` when the
         queue is full.
+    quarantine_ttl:
+        Seconds a poison signature (one whose batches crashed workers
+        :data:`QUARANTINE_STRIKES` times) stays quarantined; matching
+        submissions fail fast with :class:`QuarantinedError` until the TTL
+        expires.  ``None`` defers to ``REPRO_QUARANTINE_TTL`` (default 30);
+        ``0`` disables quarantining.
 
     Examples
     --------
@@ -355,6 +437,7 @@ class ContractionService:
         workers: Optional[int] = None,
         engine: Optional[str] = None,
         max_pending: int = 4096,
+        quarantine_ttl: Optional[float] = None,
     ) -> None:
         require(max_pending >= 1, "max_pending must be >= 1")
         self.workers = workers
@@ -367,8 +450,17 @@ class ContractionService:
             f"engine must be one of {ENGINES}, got {self.engine!r}",
         )
         self.max_pending = max_pending
+        self.quarantine_ttl = (
+            default_quarantine_ttl() if quarantine_ttl is None
+            else max(0.0, quarantine_ttl)
+        )
         self.stats = ServiceStats()
         self._pending: List[_Pending] = []
+        #: signature digest -> quarantine entry (monotonic expiry, strike
+        #: count, a human-readable sample of the offending request).
+        self._quarantine: Dict[str, Dict[str, object]] = {}
+        #: signature digest -> worker-crash strikes accumulated so far.
+        self._strikes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -387,8 +479,21 @@ class ContractionService:
             engine,
         )
 
-    def submit(self, request: ContractionRequest) -> ServeFuture:
-        """Admit one request; returns its future or raises AdmissionError."""
+    def submit(
+        self,
+        request: ContractionRequest,
+        expires_at: Optional[float] = None,
+    ) -> ServeFuture:
+        """Admit one request; returns its future or raises on refusal.
+
+        Refusals: :class:`AdmissionError` (full queue, invalid spec),
+        :class:`QuarantinedError` (the request's plan signature is
+        quarantined) and :class:`DeadlineError` (its deadline has already
+        expired).  *expires_at* is an absolute ``time.monotonic()``
+        deadline stamped by a caller that queued the request earlier (the
+        daemon), so queue wait counts against the budget; without it, a
+        ``request.deadline_ms`` starts its clock here.
+        """
         if len(self._pending) >= self.max_pending:
             self.stats.rejected += 1
             inc_counter("serve.rejected")
@@ -403,15 +508,28 @@ class ContractionService:
             inc_counter("serve.rejected")
             raise AdmissionError(f"invalid request: {exc}") from exc
         engine = request.engine if request.engine is not None else self.engine
+        signature = self._signature(kernel, mapping, engine)
+        digest = self.signature_digest(signature)
+        self._check_quarantine(digest)
+        if expires_at is None and request.deadline_ms is not None:
+            expires_at = time.monotonic() + request.deadline_ms / 1000.0
+        if expires_at is not None and time.monotonic() >= expires_at:
+            self.stats.expired += 1
+            inc_counter("serve.expired")
+            raise DeadlineError(
+                f"deadline ({request.deadline_ms}ms) expired before admission"
+            )
         future = ServeFuture(request, self)
         self._pending.append(
             _Pending(
                 request,
                 kernel,
                 dict(mapping),
-                self._signature(kernel, mapping, engine),
+                signature,
+                digest,
                 engine,
                 future,
+                expires_at,
             )
         )
         self.stats.submitted += 1
@@ -420,6 +538,68 @@ class ContractionService:
             self.stats.by_kind.get(request.kind, 0) + 1
         )
         return future
+
+    # ------------------------------------------------------------------ #
+    # Quarantine
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def signature_digest(signature: Tuple) -> str:
+        """Short stable digest naming a plan signature in stats/errors."""
+        return hashlib.sha1(repr(signature).encode("utf-8")).hexdigest()[:12]
+
+    def _check_quarantine(self, digest: str) -> None:
+        entry = self._quarantine.get(digest)
+        if entry is None:
+            return
+        now = time.monotonic()
+        if now >= entry["until"]:
+            # TTL expiry: fresh slate — the next crash starts a new count
+            del self._quarantine[digest]
+            self._strikes.pop(digest, None)
+            return
+        entry["rejected"] = int(entry["rejected"]) + 1
+        self.stats.quarantined += 1
+        inc_counter("serve.quarantined")
+        raise QuarantinedError(
+            f"plan signature {digest} is quarantined for another "
+            f"{float(entry['until']) - now:.1f}s after {entry['strikes']} "
+            f"worker-crash strike(s)"
+        )
+
+    def _note_crash_strike(self, leader: _Pending) -> None:
+        """Record that *leader*'s signature group crashed pool workers."""
+        digest = leader.digest
+        strikes = self._strikes.get(digest, 0) + 1
+        self._strikes[digest] = strikes
+        if strikes < QUARANTINE_STRIKES or self.quarantine_ttl <= 0:
+            return
+        self._quarantine[digest] = {
+            "until": time.monotonic() + self.quarantine_ttl,
+            "strikes": strikes,
+            "kind": leader.request.kind,
+            "spec": str(leader.request.spec),
+            "rejected": 0,
+        }
+        self.stats.quarantines += 1
+        inc_counter("serve.quarantines")
+
+    def quarantine_snapshot(self) -> Dict[str, object]:
+        """The live quarantine table (stats endpoints, health checks)."""
+        now = time.monotonic()
+        return {
+            "ttl_s": self.quarantine_ttl,
+            "strikes": dict(self._strikes),
+            "entries": {
+                digest: {
+                    "kind": entry["kind"],
+                    "spec": entry["spec"],
+                    "strikes": entry["strikes"],
+                    "rejected": entry["rejected"],
+                    "expires_in_s": max(0.0, float(entry["until"]) - now),
+                }
+                for digest, entry in self._quarantine.items()
+            },
+        }
 
     def submit_many(
         self, requests: Sequence[ContractionRequest]
@@ -486,9 +666,25 @@ class ContractionService:
     ) -> None:
         ready = time.perf_counter()
         for i, (p, value) in enumerate(zip(group, results)):
+            if (
+                not isinstance(value, _RequestError)
+                and p.expires_at is not None
+                and time.monotonic() >= p.expires_at
+            ):
+                # the result arrived, but after the caller stopped caring:
+                # report the deadline, not a payload nobody will read
+                value = _RequestError(
+                    f"deadline ({p.request.deadline_ms}ms) expired during "
+                    f"execution",
+                    code="timeout",
+                )
             if isinstance(value, _RequestError):
-                self.stats.failed += 1
-                inc_counter("serve.failed")
+                if value.code == "timeout":
+                    self.stats.expired += 1
+                    inc_counter("serve.expired")
+                else:
+                    self.stats.failed += 1
+                    inc_counter("serve.failed")
             else:
                 self.stats.served += 1
                 inc_counter("serve.served")
@@ -508,6 +704,27 @@ class ContractionService:
     def _run_group(
         self, group: List[_Pending], workers: int, flush_start: float
     ) -> None:
+        # shed requests whose deadline expired while they waited in the
+        # queue — running them would spend worker time on dead replies
+        now = time.monotonic()
+        expired = [
+            p for p in group if p.expires_at is not None and now >= p.expires_at
+        ]
+        if expired:
+            self._resolve(
+                expired,
+                [
+                    _RequestError(
+                        f"deadline ({p.request.deadline_ms}ms) expired after "
+                        f"queue wait",
+                        code="timeout",
+                    )
+                    for p in expired
+                ],
+            )
+            group = [p for p in group if not p.future.done]
+            if not group:
+                return
         leader = group[0]
         schedule_t0 = time.perf_counter()
         try:
@@ -523,9 +740,26 @@ class ContractionService:
             "group", "serve", requests=len(group), kind=leader.request.kind
         ):
             if workers > 1 and len(group) > 1:
-                results, build_s, execute_s = self._run_group_parallel(
-                    group, nest, workers
-                )
+                # sample the supervision totals around the parallel run:
+                # any crash/timeout delta is a strike against this group's
+                # signature (repeat offenders get quarantined)
+                before = supervision_events()
+                try:
+                    results, build_s, execute_s = self._run_group_parallel(
+                        group, nest, workers
+                    )
+                except Exception as exc:
+                    # dispatch-path failure (e.g. an injected shm.publish
+                    # fault): fail this group, not the whole flush
+                    error = _RequestError(f"{type(exc).__name__}: {exc}")
+                    results = [error] * len(group)
+                    build_s, execute_s = 0.0, [0.0] * len(group)
+                after = supervision_events()
+                if (
+                    after["crashes"] > before["crashes"]
+                    or after["timeouts"] > before["timeouts"]
+                ):
+                    self._note_crash_strike(leader)
             else:
                 results, build_s, execute_s = self._run_group_serial(group, nest)
         self._resolve(
@@ -552,6 +786,7 @@ class ContractionService:
         for p in group:
             exec_t0 = time.perf_counter()
             try:
+                fault_point("serve.execute")
                 results.append(executor.execute(p.mapping))
             except Exception as exc:
                 results.append(_RequestError(f"{type(exc).__name__}: {exc}"))

@@ -1,4 +1,4 @@
-"""Shared utilities: validation helpers, timers, and operation counters."""
+"""Shared utilities: validation, timers, operation counters, fault injection."""
 
 from repro.util.validation import (
     check_axis,
@@ -9,6 +9,15 @@ from repro.util.validation import (
 )
 from repro.util.timing import Timer, timed
 from repro.util.counters import OpCounter
+from repro.util.faults import (
+    FAULTS_ENV,
+    FaultInjected,
+    configure_faults,
+    fault_point,
+    faults_active,
+    faults_snapshot,
+    reset_faults,
+)
 
 __all__ = [
     "check_axis",
@@ -19,4 +28,11 @@ __all__ = [
     "Timer",
     "timed",
     "OpCounter",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "configure_faults",
+    "fault_point",
+    "faults_active",
+    "faults_snapshot",
+    "reset_faults",
 ]

@@ -199,6 +199,17 @@ class TestDaemonEndToEnd:
         # the starting client rotates between consecutive cycles
         assert trace[0] != trace[1]
 
+    def test_health_endpoint_is_lightweight_and_ready(self):
+        with start_daemon_thread(workers=0) as handle:
+            with ServeClient(*handle.address) as client:
+                health = client.health()
+        assert health["status"] == "ready" and health["ready"] is True
+        assert health["version"] == protocol.PROTOCOL_VERSION
+        assert health["pending"] == 0
+        assert health["quarantined_signatures"] == 0
+        # supervision info rides along for probes that alert on crash churn
+        assert {"crashes", "respawns", "last_crash_unix"} <= set(health)
+
     def test_stats_endpoint_exposes_all_layers(self):
         with start_daemon_thread(workers=0) as handle:
             with ServeClient(*handle.address) as client:
@@ -316,6 +327,54 @@ class TestDaemonFailurePaths:
                     pending.result()
                 assert excinfo.value.code == "shutdown"
             _on_loop(handle, setattr, handle.daemon, "_draining", False)
+
+
+# --------------------------------------------------------------------------- #
+# Client-side robustness
+# --------------------------------------------------------------------------- #
+class TestClientRobustness:
+    def test_read_timeout_raises_clear_error_and_daemon_survives(self):
+        with start_daemon_thread(workers=0) as handle:
+            with ServeClient(*handle.address, timeout=0.3) as client:
+                _on_loop(handle, handle.daemon.pause_dispatch)
+                pending = client.submit(_small_requests(1, seed=5)[0])
+                with pytest.raises(TimeoutError, match="no reply from daemon"):
+                    pending.result()
+                _on_loop(handle, handle.daemon.resume_dispatch)
+            # the stalled client did not wedge the daemon: reconnect works
+            with ServeClient(*handle.address, timeout=60) as fresh:
+                assert fresh.ping()
+                requests = _small_requests(1, seed=5)
+                out = fresh.run(requests)[0]
+                _assert_outputs_equal(out, execute_sequential(requests)[0])
+
+    def test_daemon_death_mid_request_surfaces_connection_error(self):
+        # a stand-in daemon that accepts one connection, reads, then dies
+        listener = socket.create_server(("127.0.0.1", 0))
+        address = listener.getsockname()[:2]
+
+        def _accept_read_die() -> None:
+            conn, _ = listener.accept()
+            conn.recv(1 << 20)
+            conn.close()
+            listener.close()
+
+        thread = threading.Thread(target=_accept_read_die, daemon=True)
+        thread.start()
+        client = ServeClient(*address, timeout=30)
+        try:
+            pending = client.submit(_small_requests(1, seed=6)[0])
+            with pytest.raises(ConnectionError, match="closed the connection"):
+                pending.result()
+        finally:
+            client.close()
+            thread.join(10)
+        # the recovery path: reconnect to a live daemon and re-submit
+        requests = _small_requests(1, seed=6)
+        with start_daemon_thread(workers=0) as handle:
+            with ServeClient(*handle.address, timeout=60) as fresh:
+                out = fresh.run(requests)[0]
+        _assert_outputs_equal(out, execute_sequential(requests)[0])
 
 
 # --------------------------------------------------------------------------- #

@@ -65,10 +65,15 @@ class TestResolveWorkersEnv:
         assert resolve_workers(0) == 1
         assert resolve_workers(2) == 2
 
-    def test_invalid_env_means_serial(self, monkeypatch):
+    def test_invalid_env_means_serial_but_warns(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
-        assert default_workers() is None
-        assert resolve_workers(None) == 1
+        # an unparseable value behaves like unset, but names the bad value
+        # loudly instead of silently degrading the deployment to serial
+        with pytest.warns(RuntimeWarning, match="not-a-number"):
+            assert default_workers() is None
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+            assert resolve_workers(None) == 1
+        # whitespace-only counts as unset: no warning
         monkeypatch.setenv("REPRO_WORKERS", "  ")
         assert resolve_workers(None) == 1
 
